@@ -1,0 +1,70 @@
+"""Ablation — the quorum size d trades reliability against communication.
+
+DESIGN.md (§5, item 2): the paper only prescribes ``d = Θ(log n)``; the
+constant in front decides both the failure probability of the w.h.p. claims
+and the (cubic-in-d) message cost of the pull phase.  This ablation sweeps
+the quorum multiplier at fixed ``n`` and reports the fraction of correct
+nodes that decide ``gstring`` and the amortized cost, showing why the default
+multiplier of 2 is a sensible middle ground.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner import run_aer_experiment
+
+N = 64
+MULTIPLIERS = [1.0, 2.0, 3.0]
+SEEDS = [0, 1, 2]
+
+
+def reach_and_cost(multiplier: float):
+    reach_total, cost_total = 0.0, 0.0
+    for seed in SEEDS:
+        result = run_aer_experiment(
+            n=N, adversary_name="wrong_answer", seed=seed, quorum_multiplier=multiplier
+        )
+        values = list(result.decisions.values())
+        gstring = max(set(values), key=values.count) if values else None
+        reach_total += result.fraction_decided(gstring) if gstring else 0.0
+        cost_total += result.metrics.amortized_bits
+    return reach_total / len(SEEDS), cost_total / len(SEEDS)
+
+
+@pytest.fixture(scope="module")
+def ablation_rows():
+    rows = []
+    for multiplier in MULTIPLIERS:
+        reach, cost = reach_and_cost(multiplier)
+        rows.append({
+            "quorum_multiplier": multiplier,
+            "mean_reach": round(reach, 4),
+            "mean_amortized_bits": round(cost, 1),
+        })
+    return rows
+
+
+def test_benchmark_default_multiplier(benchmark):
+    reach, cost = benchmark.pedantic(lambda: reach_and_cost(2.0), rounds=1, iterations=1)
+    assert reach > 0.95
+
+
+def test_bigger_quorums_cost_more(ablation_rows):
+    costs = [row["mean_amortized_bits"] for row in ablation_rows]
+    assert costs == sorted(costs)
+    assert costs[-1] > 2 * costs[0]
+
+
+def test_default_multiplier_reaches_everyone(ablation_rows):
+    by_multiplier = {row["quorum_multiplier"]: row for row in ablation_rows}
+    assert by_multiplier[2.0]["mean_reach"] >= 0.99
+    assert by_multiplier[3.0]["mean_reach"] >= 0.99
+    # the small-quorum configuration is allowed to degrade (that is the point)
+    assert by_multiplier[1.0]["mean_reach"] <= by_multiplier[2.0]["mean_reach"] + 1e-9
+
+
+def test_report_table(ablation_rows, record_table, benchmark):
+    record_table("ablation_quorum_size", ablation_rows,
+                 "Ablation — quorum size multiplier vs reach and cost (n=64)")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

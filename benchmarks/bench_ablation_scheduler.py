@@ -1,0 +1,94 @@
+"""Ablation — how much of the asynchronous slowdown is scheduling vs Byzantine traffic.
+
+DESIGN.md (§5, item 1): the asynchronous bound of Lemma 6 combines two
+adversarial powers — message scheduling (delays) and Byzantine traffic
+(overload).  This ablation runs the same scenario under four regimes to
+attribute the slowdown:
+
+* benign random delays, no adversary;
+* worst-case delays only (`slow_knowledgeable`, no Byzantine traffic);
+* overload traffic only (cornering with delays disabled);
+* the full cornering attack (traffic + delays).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.cornering import CorneringAdversary
+from repro.adversary.base import AdversaryKnowledge
+from repro.core.config import AERConfig
+from repro.core.scenario import make_scenario
+from repro.runner import make_adversary, run_aer
+
+N = 64
+SEED = 12
+
+
+@pytest.fixture(scope="module")
+def scheduler_rows():
+    config = AERConfig.for_system(N, sampler_seed=SEED)
+    scenario = make_scenario(N, config=config, t=N // 6, knowledge_fraction=0.78, seed=SEED)
+    samplers = config.build_samplers()
+    knowledge = AdversaryKnowledge(config=config, samplers=samplers, scenario=scenario)
+
+    regimes = {
+        "random delays, no adversary": None,
+        "worst-case delays only": make_adversary("slow_knowledgeable", scenario, config, samplers),
+        "overload traffic only": CorneringAdversary(
+            scenario.byzantine_ids, knowledge, delay_honest=False
+        ),
+        "overload + worst-case delays": make_adversary("cornering", scenario, config, samplers),
+    }
+    rows = []
+    for label, adversary in regimes.items():
+        result = run_aer(
+            scenario, config=config, adversary=adversary, mode="async", seed=SEED, samplers=samplers
+        )
+        rows.append({
+            "regime": label,
+            "span": round(result.span or -1, 2),
+            "amortized_bits": round(result.metrics.amortized_bits, 1),
+            "reach": round(result.fraction_decided(scenario.gstring), 4),
+        })
+    return rows
+
+
+def test_benchmark_full_attack(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_aer(
+            make_scenario(N, config=AERConfig.for_system(N, sampler_seed=SEED),
+                          t=N // 6, knowledge_fraction=0.78, seed=SEED),
+            config=AERConfig.for_system(N, sampler_seed=SEED),
+            adversary_name="cornering", mode="async", seed=SEED,
+        ),
+        rounds=1, iterations=1,
+    )
+    assert result.span is not None
+
+
+def test_delays_dominate_the_slowdown(scheduler_rows):
+    by_regime = {row["regime"]: row for row in scheduler_rows}
+    benign = by_regime["random delays, no adversary"]["span"]
+    delays_only = by_regime["worst-case delays only"]["span"]
+    full = by_regime["overload + worst-case delays"]["span"]
+    assert delays_only >= benign
+    assert full >= delays_only * 0.9  # the full attack is at least as slow as delays alone
+
+
+def test_traffic_only_regime_adds_bits_not_time(scheduler_rows):
+    by_regime = {row["regime"]: row for row in scheduler_rows}
+    assert (
+        by_regime["overload traffic only"]["amortized_bits"]
+        > by_regime["random delays, no adversary"]["amortized_bits"]
+    )
+
+
+def test_reach_stays_high_everywhere(scheduler_rows):
+    assert all(row["reach"] >= 0.9 for row in scheduler_rows)
+
+
+def test_report_table(scheduler_rows, record_table, benchmark):
+    record_table("ablation_scheduler", scheduler_rows,
+                 "Ablation — scheduling power vs Byzantine traffic (n=64, async)")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,123 @@
+"""Figure 1a — almost-everywhere to everywhere comparison.
+
+Paper's table (Figure 1a):
+
+===============  ==========  ============  ==================
+                 [KLST11]    AER           AER
+Model            sync/rush   sync/non-rush async
+Time             O(log² n)   O(1)          O(log n / log log n)
+Bits             O~(√n)      O(log² n)     O(log² n)
+Load-balanced    Yes         No            No
+===============  ==========  ============  ==================
+
+Reproduction: sweep ``n``, run the KLST-style sampled-majority baseline and
+AER under the synchronous (non-rushing) and asynchronous schedulers on the
+same scenarios, and compare
+
+* time (rounds / normalized span),
+* per-node bits (amortized), with fitted growth exponents,
+* load imbalance (max / median per-node bits), measured under the
+  quorum-targeted flooding attack that makes AER's non-load-balancedness
+  visible.
+
+Shape expectations asserted below: AER's synchronous round count is constant
+in ``n``; AER's amortized bits grow sub-linearly (and more slowly than the
+naive linear reference); the baseline stays load-balanced while AER under the
+quorum-flooding attack does not.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.complexity import growth_exponent
+from repro.analysis.experiments import result_row
+from repro.core.config import AERConfig
+from repro.core.scenario import make_scenario
+from repro.baselines import run_sample_majority
+from repro.runner import make_adversary, run_aer, run_aer_experiment
+
+SYNC_SIZES = [32, 64, 128]
+ASYNC_SIZES = [32, 64]
+SEED = 2
+
+
+@pytest.fixture(scope="module")
+def figure1a_rows():
+    rows = []
+    series = {"klst_bits": [], "aer_bits": [], "aer_rounds": [], "klst_rounds": []}
+    for n in SYNC_SIZES:
+        config = AERConfig.for_system(n, sampler_seed=SEED)
+        scenario = make_scenario(n, config=config, t=n // 6, knowledge_fraction=0.78, seed=SEED)
+        samplers = config.build_samplers()
+
+        klst = run_sample_majority(scenario, seed=SEED)
+        rows.append(result_row(klst, protocol="KLST-style (sampled majority)", model="sync"))
+        series["klst_bits"].append(klst.metrics.amortized_bits)
+        series["klst_rounds"].append(klst.rounds or 0)
+
+        aer_sync = run_aer(scenario, config=config, adversary_name="wrong_answer",
+                           seed=SEED, samplers=samplers)
+        rows.append(result_row(aer_sync, protocol="AER", model="sync non-rushing"))
+        series["aer_bits"].append(aer_sync.metrics.amortized_bits)
+        series["aer_rounds"].append(aer_sync.rounds or 0)
+
+        flood = make_adversary("quorum_flood", scenario, config, samplers)
+        aer_flood = run_aer(scenario, config=config, adversary=flood, seed=SEED, samplers=samplers)
+        rows.append(result_row(aer_flood, protocol="AER (quorum-flood attack)", model="sync non-rushing"))
+
+    for n in ASYNC_SIZES:
+        result = run_aer_experiment(n=n, adversary_name="cornering", mode="async", seed=SEED)
+        rows.append(result_row(result, protocol="AER", model="async (cornering)"))
+    return rows, series
+
+
+def test_benchmark_single_aer_run(benchmark):
+    """Wall-clock of one mid-size AER run (the unit of work behind the table)."""
+    result = benchmark.pedantic(
+        lambda: run_aer_experiment(n=64, adversary_name="wrong_answer", seed=SEED),
+        rounds=1, iterations=1,
+    )
+    assert result.agreement_reached
+
+
+def test_aer_time_is_constant_in_n(figure1a_rows):
+    _, series = figure1a_rows
+    assert max(series["aer_rounds"]) <= 6
+    assert max(series["aer_rounds"]) - min(series["aer_rounds"]) <= 1
+
+
+def test_aer_bits_grow_sublinearly(figure1a_rows):
+    _, series = figure1a_rows
+    exponent = growth_exponent(SYNC_SIZES, series["aer_bits"])
+    assert exponent < 0.9  # polylog measured over a finite range; clearly below linear
+
+
+def test_klst_baseline_is_load_balanced_aer_is_not(figure1a_rows):
+    rows, _ = figure1a_rows
+    klst_imbalance = [row["load_imbalance"] for row in rows if row["protocol"].startswith("KLST")]
+    flood_imbalance = [row["load_imbalance"] for row in rows if "quorum-flood" in row["protocol"]]
+    assert max(klst_imbalance) < 2.5
+    assert max(flood_imbalance) > max(klst_imbalance)
+
+
+def test_all_protocols_reach_agreement(figure1a_rows):
+    rows, _ = figure1a_rows
+    assert all(row["agreement"] == 1 for row in rows)
+
+
+def test_report_table(figure1a_rows, record_table, benchmark):
+    rows, series = figure1a_rows
+    record_table("figure1a_ae_to_e", rows, "Figure 1a — almost-everywhere to everywhere")
+    summary_rows = [
+        {
+            "series": "KLST-style amortized bits",
+            "power_exponent": round(growth_exponent(SYNC_SIZES, series["klst_bits"]), 3),
+        },
+        {
+            "series": "AER amortized bits",
+            "power_exponent": round(growth_exponent(SYNC_SIZES, series["aer_bits"]), 3),
+        },
+    ]
+    record_table("figure1a_growth_fits", summary_rows, "Figure 1a — fitted growth exponents")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,91 @@
+"""Figure 1b — Byzantine Agreement comparison.
+
+Paper's table (Figure 1b) compares BA protocols by time and bits:
+[BOPV06] (n^O(log n) bits), [KLST11] (O~(√n) bits, polylog time), **BA**
+(polylog bits and time), [PR10] (O(1) time, Ω(n² log n) bits), [KS13].
+
+Reproduction: run, on the same system sizes and corrupt sets,
+
+* **BA** — the paper's composition (committee-tree almost-everywhere stage +
+  AER), via :class:`repro.core.ba.BAProtocol`;
+* **ae + sampled majority** — the KLST-style composition (the previous state
+  of the art the paper improves on);
+* **ae + all-to-all broadcast** — the quadratic-communication class.
+
+Shape expectations: every composition reaches agreement; the naive
+composition's amortized bits grow essentially linearly in ``n`` while BA's
+grow sub-linearly; BA's total round count stays small and flat.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.complexity import growth_exponent
+from repro.baselines import run_composed_ba
+from repro.core.ba import BAConfig, BAProtocol
+
+SIZES = [48, 96, 144]
+SEED = 5
+
+
+@pytest.fixture(scope="module")
+def figure1b_rows():
+    rows = []
+    series = {"ba_bits": [], "naive_bits": [], "klst_bits": [], "ba_rounds": []}
+    for n in SIZES:
+        ba = BAProtocol(BAConfig(n=n, seed=SEED)).run()
+        row = dict(protocol="BA (ae + AER)", **ba.row())
+        rows.append(row)
+        series["ba_bits"].append(ba.amortized_bits)
+        series["ba_rounds"].append(ba.total_rounds)
+
+        klst = run_composed_ba(n, strategy="sample_majority", seed=SEED)
+        rows.append(dict(protocol="ae + sampled majority (KLST-style)", **klst.row()))
+        series["klst_bits"].append(klst.amortized_bits)
+
+        naive = run_composed_ba(n, strategy="naive", seed=SEED)
+        rows.append(dict(protocol="ae + all-to-all broadcast", **naive.row()))
+        series["naive_bits"].append(naive.amortized_bits)
+    return rows, series
+
+
+def test_benchmark_single_ba_run(benchmark):
+    """Wall-clock of one full BA run at n=96."""
+    result = benchmark.pedantic(
+        lambda: BAProtocol(BAConfig(n=96, seed=SEED)).run(), rounds=1, iterations=1
+    )
+    assert result.agreement_reached
+
+
+def test_every_composition_reaches_agreement(figure1b_rows):
+    rows, _ = figure1b_rows
+    assert all(row["agreement"] == 1 for row in rows)
+
+
+def test_ba_rounds_flat_in_n(figure1b_rows):
+    _, series = figure1b_rows
+    assert max(series["ba_rounds"]) - min(series["ba_rounds"]) <= 2
+
+
+def test_naive_grows_faster_than_ba(figure1b_rows):
+    _, series = figure1b_rows
+    naive_exponent = growth_exponent(SIZES, series["naive_bits"])
+    ba_exponent = growth_exponent(SIZES, series["ba_bits"])
+    assert naive_exponent > 0.55
+    assert ba_exponent < naive_exponent
+
+
+def test_report_table(figure1b_rows, record_table, benchmark):
+    rows, series = figure1b_rows
+    record_table("figure1b_byzantine_agreement", rows, "Figure 1b — Byzantine Agreement")
+    fits = [
+        {"series": name, "power_exponent": round(growth_exponent(SIZES, values), 3)}
+        for name, values in (
+            ("BA amortized bits", series["ba_bits"]),
+            ("KLST-style amortized bits", series["klst_bits"]),
+            ("naive amortized bits", series["naive_bits"]),
+        )
+    ]
+    record_table("figure1b_growth_fits", fits, "Figure 1b — fitted growth exponents")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

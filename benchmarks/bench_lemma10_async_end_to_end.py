@@ -1,0 +1,74 @@
+"""Lemma 10 — asynchronous end-to-end: O(log n / log log n) time, O~(n) messages.
+
+Reproduction: sweep ``n`` under the asynchronous scheduler with the
+delay-maximising (but traffic-free) adversary `slow_knowledgeable` and with a
+benign random-delay network, and report the normalized completion time and
+the total messages per node.  Shape assertions: the span grows far slower
+than ``n`` and stays within a small constant of the ``log n / log log n``
+reference; messages per node grow sub-linearly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.complexity import growth_exponent
+from repro.runner import run_aer_experiment
+
+SIZES = [32, 64, 96]
+SEED = 8
+
+
+@pytest.fixture(scope="module")
+def lemma10_rows():
+    rows = []
+    spans, messages = [], []
+    for n in SIZES:
+        result = run_aer_experiment(
+            n=n, adversary_name="slow_knowledgeable", mode="async", seed=SEED
+        )
+        reference = math.log2(n) / math.log2(math.log2(n))
+        rows.append({
+            "n": n,
+            "span_normalized": round(result.span or -1, 2),
+            "log_over_loglog": round(reference, 2),
+            "messages_per_node": round(result.metrics.total_messages / n, 1),
+            "agreement": int(result.agreement_reached),
+            "decided_fraction": round(len(result.decisions) / len(result.correct_ids), 3),
+        })
+        spans.append(result.span or 0.0)
+        messages.append(result.metrics.total_messages / n)
+    return rows, spans, messages
+
+
+def test_benchmark_single_async_run(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_aer_experiment(n=64, adversary_name="slow_knowledgeable", mode="async", seed=SEED),
+        rounds=1, iterations=1,
+    )
+    assert result.span is not None
+
+
+def test_span_grows_slowly(lemma10_rows):
+    _, spans, _ = lemma10_rows
+    assert growth_exponent(SIZES, spans) < 0.5
+    assert max(spans) <= 5 * (math.log2(SIZES[-1]) / math.log2(math.log2(SIZES[-1])))
+
+
+def test_messages_per_node_sublinear(lemma10_rows):
+    _, _, messages = lemma10_rows
+    assert growth_exponent(SIZES, messages) < 0.85
+
+
+def test_essentially_everyone_decides(lemma10_rows):
+    rows, _, _ = lemma10_rows
+    assert all(row["decided_fraction"] >= 0.95 for row in rows)
+
+
+def test_report_table(lemma10_rows, record_table, benchmark):
+    rows, _, _ = lemma10_rows
+    record_table("lemma10_async_end_to_end", rows,
+                 "Lemma 10 — asynchronous end-to-end time and messages")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,83 @@
+"""Lemma 4 — the candidate lists of the correct nodes sum to O(n).
+
+The adversary that maximises this quantity is the quorum-targeted flooding
+attack: it searches for strings whose push quorum at some victim has a
+corrupt majority and forces them into that victim's list.  Lemma 4 says the
+total damage is still linear in ``n`` (amortized O(1) strings per node).
+
+Reproduction: run AER under that adversary for a sweep of ``n`` and report
+``Σ_x |L_x|`` together with the number of strings the adversary managed to
+force; assert the sum stays within a small constant times ``n``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import AERConfig
+from repro.core.scenario import build_aer_nodes, make_scenario
+from repro.net.sync import SynchronousSimulator
+from repro.runner import make_adversary
+
+SIZES = [32, 64, 128]
+SEED = 4
+
+
+def candidate_list_total(n: int, seed: int = SEED):
+    config = AERConfig.for_system(n, sampler_seed=seed)
+    scenario = make_scenario(
+        n, config=config, t=n // 6, knowledge_fraction=0.78,
+        wrong_candidate_mode="common_wrong", seed=seed,
+    )
+    samplers = config.build_samplers()
+    nodes = build_aer_nodes(scenario, config, samplers=samplers)
+    adversary = make_adversary("quorum_flood", scenario, config, samplers)
+    sim = SynchronousSimulator(
+        nodes=nodes, n=n, adversary=adversary, seed=seed, size_model=config.size_model()
+    )
+    result = sim.run()
+    total = sum(node.push_engine.candidate_list_size for node in nodes)
+    biggest = max(node.push_engine.candidate_list_size for node in nodes)
+    return total, biggest, adversary.total_forced, result
+
+
+@pytest.fixture(scope="module")
+def lemma4_rows():
+    rows = []
+    for n in SIZES:
+        total, biggest, forced, result = candidate_list_total(n)
+        rows.append({
+            "n": n,
+            "sum_candidate_lists": total,
+            "sum_over_n": round(total / n, 2),
+            "largest_single_list": biggest,
+            "strings_forced_by_adversary": forced,
+            "agreement": int(result.agreement_reached),
+        })
+    return rows
+
+
+def test_benchmark_candidate_list_run(benchmark):
+    total, biggest, forced, result = benchmark.pedantic(
+        lambda: candidate_list_total(64), rounds=1, iterations=1
+    )
+    assert total >= len(result.correct_ids)
+
+
+def test_sum_is_linear_in_n(lemma4_rows):
+    for row in lemma4_rows:
+        assert row["sum_over_n"] <= 3.0  # O(n) with a small constant
+
+
+def test_amortized_candidates_do_not_grow_with_n(lemma4_rows):
+    ratios = [row["sum_over_n"] for row in lemma4_rows]
+    assert max(ratios) <= min(ratios) + 1.5
+
+
+def test_agreement_survives_the_attack(lemma4_rows):
+    assert all(row["agreement"] == 1 for row in lemma4_rows)
+
+
+def test_report_table(lemma4_rows, record_table, benchmark):
+    record_table("lemma4_candidate_lists", lemma4_rows, "Lemma 4 — sum of candidate-list sizes")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,82 @@
+"""Lemma 6 / Lemma 10 — asynchronous pull latency under the overload attack.
+
+The adversary that maximises the asynchronous running time is the
+"cornering" attack: it watches which poll-list members the honest pollers
+contact (rushing knowledge), overloads exactly those with well-formed
+requests for ``gstring`` to burn their ``log² n`` answer budgets, and delays
+all honest traffic to the reliability limit.  Lemma 6 bounds the resulting
+latency by ``O(log n / log log n)`` normalized time units.
+
+Reproduction: sweep ``n``, run AER asynchronously under that adversary, and
+report the normalized completion time (span) next to the paper's
+``log n / log log n`` reference curve.  The shape assertion is that the span
+grows no faster than a small multiple of the reference (and much slower than
+linearly).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.complexity import growth_exponent
+from repro.net.asynchronous import ConstantDelayPolicy
+from repro.core.config import AERConfig
+from repro.core.scenario import make_scenario
+from repro.runner import make_adversary, run_aer
+
+SIZES = [32, 64, 96]
+SEED = 6
+
+
+def async_span(n: int, adversary_name: str = "cornering", seed: int = SEED) -> float:
+    config = AERConfig.for_system(n, sampler_seed=seed)
+    scenario = make_scenario(n, config=config, t=n // 6, knowledge_fraction=0.78, seed=seed)
+    samplers = config.build_samplers()
+    adversary = make_adversary(adversary_name, scenario, config, samplers)
+    result = run_aer(
+        scenario, config=config, adversary=adversary, mode="async", seed=seed,
+        samplers=samplers, delay_policy=ConstantDelayPolicy(1.0),
+    )
+    assert all(v == scenario.gstring for v in result.decisions.values())
+    return result.span or 0.0
+
+
+@pytest.fixture(scope="module")
+def lemma6_rows():
+    rows = []
+    spans = []
+    for n in SIZES:
+        span = async_span(n)
+        reference = math.log2(n) / math.log2(math.log2(n))
+        rows.append({
+            "n": n,
+            "span_normalized": round(span, 2),
+            "log_over_loglog": round(reference, 2),
+            "span_over_reference": round(span / reference, 2),
+        })
+        spans.append(span)
+    return rows, spans
+
+
+def test_benchmark_async_overload_run(benchmark):
+    span = benchmark.pedantic(lambda: async_span(64), rounds=1, iterations=1)
+    assert span > 0
+
+
+def test_span_within_constant_of_reference(lemma6_rows):
+    rows, _ = lemma6_rows
+    assert all(row["span_over_reference"] <= 5.0 for row in rows)
+
+
+def test_span_grows_much_slower_than_n(lemma6_rows):
+    _, spans = lemma6_rows
+    assert growth_exponent(SIZES, spans) < 0.5
+
+
+def test_report_table(lemma6_rows, record_table, benchmark):
+    rows, _ = lemma6_rows
+    record_table("lemma6_async_pull_latency", rows,
+                 "Lemma 6 — async latency under the overload (cornering) attack")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

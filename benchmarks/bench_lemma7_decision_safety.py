@@ -1,0 +1,79 @@
+"""Lemma 7 — w.h.p. every node decides on gstring (and never on anything else).
+
+Reproduction: over several independent instances and under the strongest
+decision-targeting adversary (wrong answers + wrong-string pushes), measure
+
+* **safety**: the number of correct nodes that decided a value different
+  from ``gstring`` (the paper's argument makes this essentially impossible —
+  the first node to decide a wrong value would need a Byzantine-majority
+  poll list *for a freshly drawn random label*);
+* **reach**: the fraction of correct nodes that decided ``gstring``.
+
+Safety must be perfect in every trial; reach is a w.h.p. statement reported
+with its confidence interval.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.statistics import estimate_success
+from repro.runner import run_aer_experiment
+
+N = 64
+TRIALS = 8
+
+
+def decision_outcome(seed: int):
+    result = run_aer_experiment(n=N, adversary_name="wrong_answer", seed=seed)
+    values = list(result.decisions.values())
+    if values:
+        gstring = max(set(values), key=values.count)
+    else:
+        gstring = None
+    wrong = sum(1 for v in values if v != gstring)
+    reach = result.fraction_decided(gstring) if gstring is not None else 0.0
+    return wrong, reach, result.agreement_reached
+
+
+@pytest.fixture(scope="module")
+def lemma7_stats():
+    wrongs, reaches = [], []
+
+    def trial(seed: int) -> bool:
+        wrong, reach, agreement = decision_outcome(seed)
+        wrongs.append(wrong)
+        reaches.append(reach)
+        return agreement
+
+    estimate = estimate_success(trial, trials=TRIALS)
+    return estimate, wrongs, reaches
+
+
+def test_benchmark_single_decision_run(benchmark):
+    wrong, reach, _ = benchmark.pedantic(lambda: decision_outcome(0), rounds=1, iterations=1)
+    assert wrong == 0
+
+
+def test_safety_is_absolute(lemma7_stats):
+    _, wrongs, _ = lemma7_stats
+    assert sum(wrongs) == 0
+
+
+def test_reach_is_high(lemma7_stats):
+    estimate, _, reaches = lemma7_stats
+    assert estimate.rate >= 0.75           # full agreement in most trials
+    assert min(reaches) >= 0.95            # and never more than a couple of stragglers
+    assert sum(reaches) / len(reaches) >= 0.99
+
+
+def test_report_table(lemma7_stats, record_table, benchmark):
+    estimate, wrongs, reaches = lemma7_stats
+    rows = [dict(
+        n=N,
+        **estimate.row(),
+        wrong_decisions_total=sum(wrongs),
+        mean_reach=round(sum(reaches) / len(reaches), 4),
+    )]
+    record_table("lemma7_decision_safety", rows, "Lemma 7 — decisions are gstring, w.h.p. everywhere")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,80 @@
+"""Lemma 8 / Lemma 9 — constant-time completion against a non-rushing adversary.
+
+Against a *non-rushing* synchronous adversary, every poll is answered in a
+constant number of steps (Lemma 8) and the whole protocol finishes in O(1)
+rounds with O~(n) total messages (Lemma 9).
+
+Reproduction: sweep ``n`` with the strongest non-rushing adversary (wrong
+answers) and report the round count, the latest per-node decision round and
+the total number of messages divided by ``n``.  The shape assertions are that
+the round count does not grow with ``n`` and that messages per node grow only
+poly-logarithmically (sub-linearly over the measured range).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.complexity import growth_exponent
+from repro.runner import run_aer_experiment
+
+SIZES = [32, 64, 128, 192]
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def lemma8_rows():
+    rows = []
+    rounds_series, messages_series = [], []
+    for n in SIZES:
+        result = run_aer_experiment(n=n, adversary_name="wrong_answer", rushing=False, seed=SEED)
+        decision_rounds = result.metrics.decision_times.values()
+        rows.append({
+            "n": n,
+            "rounds": result.rounds,
+            "latest_decision_round": max(decision_rounds) if decision_rounds else -1,
+            "messages_per_node": round(result.metrics.total_messages / n, 1),
+            "agreement": int(result.agreement_reached),
+            "decided_fraction": round(len(result.decisions) / len(result.correct_ids), 4),
+        })
+        rounds_series.append(result.rounds or 0)
+        messages_series.append(result.metrics.total_messages / n)
+    return rows, rounds_series, messages_series
+
+
+def test_benchmark_single_sync_run(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_aer_experiment(n=96, adversary_name="wrong_answer", seed=SEED),
+        rounds=1, iterations=1,
+    )
+    assert result.agreement_reached
+
+
+def test_round_count_constant_in_n(lemma8_rows):
+    # A handful of nodes may decide one "cascade" later (a poll-list member that
+    # first had to decide itself before flushing its deferred answer), so the
+    # count fluctuates between ~5 and ~8 — but it must not grow with n.
+    _, rounds_series, _ = lemma8_rows
+    assert max(rounds_series) <= 9
+    assert rounds_series[-1] <= rounds_series[0] + 2
+
+
+def test_total_messages_quasi_linear(lemma8_rows):
+    # Lemma 9: O~(n) messages in total, i.e. messages/node grows poly-logarithmically.
+    _, _, messages_series = lemma8_rows
+    assert growth_exponent(SIZES, messages_series) < 0.85
+
+
+def test_essentially_everyone_decides(lemma8_rows):
+    # The w.h.p. statement at finite n: allow single-node stragglers (bad poll
+    # lists happen with small but non-zero probability at these sizes).
+    rows, _, _ = lemma8_rows
+    assert all(row["decided_fraction"] >= 0.97 for row in rows)
+    assert sum(row["agreement"] for row in rows) >= len(rows) - 1
+
+
+def test_report_table(lemma8_rows, record_table, benchmark):
+    rows, _, _ = lemma8_rows
+    record_table("lemma8_9_sync_end_to_end", rows,
+                 "Lemmas 8-9 — synchronous non-rushing: constant rounds, O~(n) messages")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

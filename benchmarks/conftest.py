@@ -1,0 +1,46 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module reproduces one table, figure or quantitative lemma of
+the paper (see DESIGN.md's per-experiment index).  The pattern is always the
+same:
+
+* a module-scoped fixture runs the sweep once and builds the rows;
+* the ``test_*`` functions assert the qualitative *shape* the paper claims
+  (who wins, how quantities grow) — never absolute numbers;
+* one of them times a representative single run through the ``benchmark``
+  fixture so ``pytest benchmarks/ --benchmark-only`` also yields wall-clock
+  numbers;
+* the formatted table is appended to ``benchmarks/results/`` and echoed to
+  stdout so it can be pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.experiments import format_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory collecting the printed tables of every benchmark run."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record_table(results_dir):
+    """Return a helper that prints a table and appends it to the results directory."""
+
+    def _record(name: str, rows, title: str) -> str:
+        text = format_table(rows, title=title)
+        print("\n" + text)
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        return text
+
+    return _record

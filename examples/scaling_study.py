@@ -1,0 +1,61 @@
+"""Scaling study: how AER's cost grows with n compared to the baselines.
+
+A miniature version of the Figure 1a benchmark, intended to run in well under
+a minute: sweep the system size, run AER and the two almost-everywhere-to-
+everywhere baselines on the same scenarios, print the per-node communication
+and time, and fit growth exponents.  The paper's claim is about the *shape*:
+AER's per-node bits should grow roughly poly-logarithmically (small fitted
+power exponent) while the sampled-majority baseline grows like ``√n`` and the
+naive broadcast linearly.
+
+Run with::
+
+    python examples/scaling_study.py [--sizes 32 64 128] [--seed 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import AERConfig, make_scenario, run_aer
+from repro.analysis import growth_exponent
+from repro.analysis.experiments import format_table, result_row
+from repro.baselines import run_naive_broadcast, run_sample_majority
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", type=int, nargs="+", default=[32, 64, 128])
+    parser.add_argument("--seed", type=int, default=2)
+    args = parser.parse_args()
+
+    rows = []
+    costs = {"AER": [], "sampled majority": [], "naive broadcast": []}
+    for n in args.sizes:
+        config = AERConfig.for_system(n, sampler_seed=args.seed)
+        scenario = make_scenario(
+            n, config=config, t=n // 6, knowledge_fraction=0.78, seed=args.seed
+        )
+        aer = run_aer(scenario, config=config, adversary_name="silent", seed=args.seed)
+        sample = run_sample_majority(scenario, seed=args.seed)
+        naive = run_naive_broadcast(scenario, seed=args.seed)
+        for label, result in (
+            ("AER", aer),
+            ("sampled majority", sample),
+            ("naive broadcast", naive),
+        ):
+            rows.append(result_row(result, protocol=label))
+            costs[label].append(result.metrics.amortized_bits)
+
+    print(format_table(rows, title="almost-everywhere to everywhere: scaling"))
+    print()
+    print("fitted power-law exponents of amortized bits (cost ~ n^b):")
+    for label, series in costs.items():
+        print(f"  {label:18s}: b = {growth_exponent(args.sizes, series):.2f}")
+    print()
+    print("Expected shape: AER's exponent is the smallest (poly-log growth),")
+    print("sampled majority sits near 0.5 + log factors, naive broadcast near 1.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""repro — reproduction of "Fast Byzantine Agreement" (PODC 2013).
+
+This package implements, from scratch and in pure Python:
+
+* the **AER** almost-everywhere-to-everywhere agreement protocol and the
+  composed **BA** Byzantine Agreement protocol of Braud-Santoni, Guerraoui
+  and Huc (:mod:`repro.core`);
+* the sampler constructions they rely on (:mod:`repro.samplers`);
+* a deterministic message-passing simulation substrate with synchronous and
+  asynchronous schedulers (:mod:`repro.net`);
+* a Byzantine adversary framework with the attacks analysed in the paper
+  (:mod:`repro.adversary`);
+* an almost-everywhere agreement substrate in the style of [KSSV06]
+  (:mod:`repro.ae`);
+* baseline protocols for the comparisons of Figure 1 (:mod:`repro.baselines`);
+* analysis utilities for the benchmark harness (:mod:`repro.analysis`).
+
+Quickstart
+----------
+>>> from repro import run_aer_experiment
+>>> result = run_aer_experiment(n=64, adversary_name="wrong_answer", seed=1)
+>>> result.agreement_reached
+True
+"""
+
+from repro.core import (
+    AERConfig,
+    AERNode,
+    AERScenario,
+    BAConfig,
+    BAProtocol,
+    BAResult,
+    build_aer_nodes,
+    make_scenario,
+)
+from repro.runner import make_adversary, run_aer, run_aer_experiment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AERConfig",
+    "AERNode",
+    "AERScenario",
+    "BAConfig",
+    "BAProtocol",
+    "BAResult",
+    "build_aer_nodes",
+    "make_scenario",
+    "make_adversary",
+    "run_aer",
+    "run_aer_experiment",
+    "__version__",
+]

@@ -1,0 +1,50 @@
+"""Byzantine adversary framework (paper Section 2.1).
+
+The adversary is *non-adaptive* (it corrupts its ``t`` nodes before the run),
+has *full knowledge* of the network (it observes every message) and fully
+coordinates the nodes it controls.  Two strengths are distinguished:
+
+* **rushing** — at each synchronous step it sees the correct nodes' messages
+  for that step before choosing its own (in the asynchronous model this is
+  automatic);
+* **non-rushing** — it must choose its step-``r`` messages independently of
+  the correct nodes' step-``r`` messages.
+
+This package provides the base class wiring an adversary into the simulators,
+corrupt-set selection helpers, and a library of concrete strategies covering
+the attacks the paper's analysis reasons about: silence/crash, random noise,
+equivocation, push flooding and quorum-targeted flooding (Lemma 4/5), wrong
+answers (Lemma 7), adversarial scheduling and the poll-overload "cornering"
+attack (Lemma 6).
+"""
+
+from repro.adversary.base import Adversary, AdversaryKnowledge
+from repro.adversary.corruption import (
+    random_corrupt_set,
+    quorum_targeting_corrupt_set,
+)
+from repro.adversary.strategies import (
+    SilentAdversary,
+    RandomNoiseAdversary,
+    EquivocatingPushAdversary,
+    WrongAnswerAdversary,
+)
+from repro.adversary.flooding import PushFloodAdversary, QuorumTargetedFloodAdversary
+from repro.adversary.cornering import CorneringAdversary
+from repro.adversary.delays import SlowKnowledgeableDelays, TargetedDelayAdversary
+
+__all__ = [
+    "Adversary",
+    "AdversaryKnowledge",
+    "random_corrupt_set",
+    "quorum_targeting_corrupt_set",
+    "SilentAdversary",
+    "RandomNoiseAdversary",
+    "EquivocatingPushAdversary",
+    "WrongAnswerAdversary",
+    "PushFloodAdversary",
+    "QuorumTargetedFloodAdversary",
+    "CorneringAdversary",
+    "SlowKnowledgeableDelays",
+    "TargetedDelayAdversary",
+]

@@ -1,0 +1,123 @@
+"""Adversary base class and the knowledge it is granted.
+
+The base :class:`Adversary` implements the
+:class:`~repro.net.simulator.AdversaryProtocol` with entirely passive
+behaviour (corrupted nodes stay silent — pure crash faults) so that concrete
+strategies only override the hooks they care about.
+
+:class:`AdversaryKnowledge` packages the *full information* the model grants
+the adversary: the protocol configuration, the shared samplers, the corrupt
+set, and — because the adversary observes all traffic and knows the initial
+state — the scenario itself, including ``gstring`` and which correct nodes
+know it.  (The adversary is still non-adaptive: the corrupt set is fixed
+before the run, and in the honest experiments it is chosen *before*
+``gstring`` is drawn, exactly as Lemma 5 assumes.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.core.config import AERConfig, SamplerSuite
+from repro.core.scenario import AERScenario
+from repro.net.messages import Message
+from repro.net.simulator import AdversaryContext, SendRecord
+
+
+@dataclass(frozen=True)
+class AdversaryKnowledge:
+    """Everything a full-information adversary may consult when acting."""
+
+    config: AERConfig
+    samplers: SamplerSuite
+    scenario: AERScenario
+
+    @property
+    def gstring(self) -> str:
+        """The global string (the adversary observes it from the very first pushes)."""
+        return self.scenario.gstring
+
+    @property
+    def correct_ids(self) -> List[int]:
+        """Identities of the correct nodes."""
+        return self.scenario.correct_ids
+
+    @property
+    def knowledgeable_ids(self) -> List[int]:
+        """Correct nodes that start out knowing ``gstring``."""
+        return self.scenario.knowledgeable_ids
+
+
+class Adversary:
+    """Base adversary: controls ``byzantine_ids`` but keeps them silent.
+
+    Subclasses override any of the event hooks (:meth:`on_start`,
+    :meth:`on_round`, :meth:`on_deliver`, :meth:`observe_send`,
+    :meth:`delay_for`) and use :meth:`send_as` / :meth:`broadcast_as` to emit
+    messages from the identities they control.
+    """
+
+    def __init__(
+        self,
+        byzantine_ids: Iterable[int],
+        knowledge: Optional[AdversaryKnowledge] = None,
+    ) -> None:
+        self._byzantine_ids = frozenset(int(i) for i in byzantine_ids)
+        self.knowledge = knowledge
+        self._context: Optional[AdversaryContext] = None
+        #: total messages this adversary has injected (strategies use it for budgets)
+        self.messages_sent = 0
+
+    # ------------------------------------------------------------------
+    # AdversaryProtocol
+    # ------------------------------------------------------------------
+    @property
+    def byzantine_ids(self) -> frozenset:
+        """The corrupt set (fixed before the run — non-adaptive adversary)."""
+        return self._byzantine_ids
+
+    def bind(self, context: AdversaryContext) -> None:
+        """Attach the simulator-provided context (called by the simulator)."""
+        self._context = context
+
+    def on_start(self) -> None:
+        """Called once at time zero.  Default: do nothing."""
+
+    def on_deliver(self, byz_id: int, sender: int, message: Message) -> None:
+        """A message reached one of the corrupted nodes.  Default: ignore it."""
+
+    def on_round(self, round_no: int, observed: Optional[List[SendRecord]]) -> None:
+        """Synchronous turn.  ``observed`` is non-``None`` only for a rushing adversary."""
+
+    def observe_send(self, record: SendRecord) -> None:
+        """Asynchronous full-information observation of every sent message."""
+
+    def delay_for(self, record: SendRecord) -> Optional[float]:
+        """Choose the delay of a message (async); ``None`` keeps the default policy."""
+        return None
+
+    # ------------------------------------------------------------------
+    # helpers for subclasses
+    # ------------------------------------------------------------------
+    @property
+    def context(self) -> AdversaryContext:
+        """The bound context; raises if used outside a simulation."""
+        if self._context is None:
+            raise RuntimeError("adversary is not bound to a simulator")
+        return self._context
+
+    @property
+    def rng(self):
+        """The adversary's own RNG (derived from the master seed)."""
+        return self.context.rng
+
+    def send_as(self, byz_id: int, dest: int, message: Message) -> None:
+        """Send ``message`` to ``dest`` from the corrupted identity ``byz_id``."""
+        self.context.send_as(byz_id, dest, message)
+        self.messages_sent += 1
+
+    def broadcast_as(self, byz_id: int, dests: Iterable[int], message: Message) -> None:
+        """Send the same message from ``byz_id`` to every destination in ``dests``."""
+        for dest in dests:
+            self.send_as(byz_id, dest, message)

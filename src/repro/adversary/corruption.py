@@ -1,0 +1,70 @@
+"""Corrupt-set selection (the adversary's one *offline* choice).
+
+The adversary of Section 2.1 is non-adaptive: the ``t`` corrupted identities
+are fixed before the execution starts.  It may, however, choose them
+cleverly.  Two selectors are provided:
+
+* :func:`random_corrupt_set` — a uniformly random corrupt set, the baseline
+  used by most experiments;
+* :func:`quorum_targeting_corrupt_set` — a greedy selector that concentrates
+  corruption inside the push/pull quorums of a string of the adversary's own
+  choosing (it cannot target ``gstring``'s quorums, because ``gstring`` is
+  mostly random and drawn *after* the corrupt set is fixed — this is exactly
+  the argument of Lemma 5).  This is the selector behind the "Input Quorum
+  seizure" discussion in the introduction: it lets the adversary force a few
+  nodes to verify many strings, making AER non-load-balanced.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, List
+
+from repro.core.config import SamplerSuite
+
+
+def random_corrupt_set(n: int, t: int, rng: random.Random) -> FrozenSet[int]:
+    """Choose ``t`` corrupted identities uniformly at random."""
+    if not 0 <= t <= n:
+        raise ValueError(f"t={t} outside [0, {n}]")
+    return frozenset(rng.sample(range(n), t))
+
+
+def quorum_targeting_corrupt_set(
+    n: int,
+    t: int,
+    samplers: SamplerSuite,
+    target_string: str,
+    rng: random.Random,
+    victim_count: int = 8,
+) -> FrozenSet[int]:
+    """Choose a corrupt set concentrated in the quorums of ``target_string``.
+
+    The selector greedily corrupts the members of the push quorums
+    ``I(target_string, x)`` for a handful of victim nodes ``x`` (so the
+    adversary can later force ``target_string`` into those victims' candidate
+    lists) and spends the remaining budget uniformly at random.
+    """
+    if not 0 <= t <= n:
+        raise ValueError(f"t={t} outside [0, {n}]")
+    corrupt: List[int] = []
+    chosen = set()
+
+    victims = rng.sample(range(n), min(victim_count, n))
+    for victim in victims:
+        for member in samplers.push.quorum(target_string, victim):
+            if len(corrupt) >= t:
+                break
+            if member not in chosen:
+                chosen.add(member)
+                corrupt.append(member)
+        if len(corrupt) >= t:
+            break
+
+    remaining = [i for i in range(n) if i not in chosen]
+    rng.shuffle(remaining)
+    while len(corrupt) < t and remaining:
+        node = remaining.pop()
+        chosen.add(node)
+        corrupt.append(node)
+    return frozenset(corrupt)

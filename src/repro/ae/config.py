@@ -1,0 +1,50 @@
+"""Parameters of the almost-everywhere agreement substrate."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.samplers.base import default_string_length
+
+
+@dataclass(frozen=True)
+class AEConfig:
+    """Tunables of the committee-tree protocol.
+
+    Attributes
+    ----------
+    n:
+        System size.
+    committee_size:
+        Number of members per committee, ``Θ(log n)``; forced odd so that
+        majority votes never tie.
+    string_length:
+        Length of the generated ``gstring`` (must match the AER configuration
+        it will be composed with).
+    seed:
+        Public seed of the committee sampler.
+    """
+
+    n: int
+    committee_size: int
+    string_length: int
+    seed: int = 0
+
+    @staticmethod
+    def for_system(
+        n: int,
+        seed: int = 0,
+        committee_multiplier: float = 2.0,
+        string_multiplier: int = 4,
+    ) -> "AEConfig":
+        """Default parameters: committees of ``≈ 2 log₂ n`` nodes, ``4 log₂ n``-bit strings."""
+        size = max(5, int(math.ceil(committee_multiplier * math.log2(max(2, n)))))
+        if size % 2 == 0:
+            size += 1
+        return AEConfig(
+            n=n,
+            committee_size=min(size, n),
+            string_length=default_string_length(n, multiplier=string_multiplier),
+            seed=seed,
+        )

@@ -1,0 +1,47 @@
+"""Wire messages of the almost-everywhere agreement substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.net.messages import Message, SizeModel
+
+
+@dataclass(frozen=True)
+class ContributionMessage(Message):
+    """Round 0 of the root-committee coin protocol: a member's private random bits."""
+
+    bits_value: str
+    kind: str = "ae-contribution"
+
+    def bits(self, size_model: SizeModel) -> int:
+        return size_model.kind_bits + len(self.bits_value)
+
+
+@dataclass(frozen=True)
+class EchoMessage(Message):
+    """Round 2 of the coin protocol: the vector of contributions a member received.
+
+    ``view`` is a tuple of ``(origin, bits)`` pairs; its wire cost is one node
+    id plus one string per entry.
+    """
+
+    view: Tuple[Tuple[int, str], ...]
+    kind: str = "ae-echo"
+
+    def bits(self, size_model: SizeModel) -> int:
+        payload = sum(size_model.id_bits + len(bits) for _, bits in self.view)
+        return size_model.kind_bits + payload
+
+
+@dataclass(frozen=True)
+class RelayMessage(Message):
+    """Dissemination: a committee member relays the agreed string to a child committee."""
+
+    committee_index: int
+    value: str
+    kind: str = "ae-relay"
+
+    def bits(self, size_model: SizeModel) -> int:
+        return size_model.kind_bits + size_model.id_bits + len(self.value)

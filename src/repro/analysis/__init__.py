@@ -1,0 +1,43 @@
+"""Analysis utilities used by the benchmark harness and EXPERIMENTS.md.
+
+Three groups of helpers:
+
+* :mod:`repro.analysis.complexity` — fit measured cost curves against the
+  growth laws the paper states (``polylog n``, ``√n·polylog``, ``n``) and
+  report which one explains the data best; this is how the benchmarks turn
+  raw sweeps into the "who wins, by what shape" statements of Figure 1.
+* :mod:`repro.analysis.statistics` — success-rate estimation with Wilson
+  confidence intervals for the w.h.p. claims (Lemmas 5 and 7).
+* :mod:`repro.analysis.experiments` — sweep runners and plain-text table
+  formatting shared by all benchmarks and examples.
+"""
+
+from repro.analysis.complexity import (
+    GrowthFit,
+    fit_growth,
+    growth_exponent,
+    polylog_ratio,
+)
+from repro.analysis.statistics import (
+    SuccessEstimate,
+    estimate_success,
+    wilson_interval,
+)
+from repro.analysis.experiments import (
+    format_table,
+    sweep_aer,
+    sweep_rows,
+)
+
+__all__ = [
+    "GrowthFit",
+    "fit_growth",
+    "growth_exponent",
+    "polylog_ratio",
+    "SuccessEstimate",
+    "estimate_success",
+    "wilson_interval",
+    "format_table",
+    "sweep_aer",
+    "sweep_rows",
+]

@@ -1,0 +1,122 @@
+"""Growth-law fitting for the complexity comparisons of Figure 1.
+
+The paper's claims are asymptotic shapes, not absolute constants: AER's
+per-node communication is ``O(log² n)`` bits, the KLST-style baseline's is
+``O~(√n)``, the naive baseline's is ``Θ(n)``.  To turn a finite sweep over
+``n`` into a verdict we fit the measured cost ``y(n)`` against candidate
+models and report which explains it best:
+
+* ``polylog`` — ``y = a · (log₂ n)^b``;
+* ``power``   — ``y = a · n^b`` (``b ≈ 0.5`` for the √n class, ``b ≈ 1`` for
+  the linear class).
+
+Both fits are ordinary least squares in the appropriate log-transformed
+coordinates; no SciPy optimiser is needed, and the small sweeps used by the
+benchmarks (4-6 points) are enough to separate the classes because the
+exponents differ by large margins.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class GrowthFit:
+    """Result of fitting one growth law to a measured curve.
+
+    ``model`` is ``"polylog"`` or ``"power"``; ``exponent`` is the fitted
+    ``b``; ``r_squared`` measures the quality of the fit in the transformed
+    coordinates (1.0 is a perfect fit).
+    """
+
+    model: str
+    coefficient: float
+    exponent: float
+    r_squared: float
+
+    def predict(self, n: float) -> float:
+        """Evaluate the fitted law at ``n``."""
+        if self.model == "polylog":
+            return self.coefficient * (math.log2(max(2.0, n)) ** self.exponent)
+        return self.coefficient * (n ** self.exponent)
+
+
+def _least_squares(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float, float]:
+    """Simple OLS of ``y = a + b·x`` returning ``(a, b, r²)``."""
+    count = len(xs)
+    if count < 2:
+        raise ValueError("need at least two points to fit a growth law")
+    mean_x = sum(xs) / count
+    mean_y = sum(ys) / count
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    if var_x == 0:
+        return mean_y, 0.0, 1.0
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = cov / var_x
+    intercept = mean_y - slope * mean_x
+    ss_res = sum((y - (intercept + slope * x)) ** 2 for x, y in zip(xs, ys))
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r_squared = 1.0 if ss_tot == 0 else max(0.0, 1.0 - ss_res / ss_tot)
+    return intercept, slope, r_squared
+
+
+def fit_growth(ns: Sequence[int], costs: Sequence[float], model: str) -> GrowthFit:
+    """Fit one growth law (``"polylog"`` or ``"power"``) to the measured points."""
+    if len(ns) != len(costs):
+        raise ValueError("ns and costs must have the same length")
+    positive = [(n, c) for n, c in zip(ns, costs) if n > 1 and c > 0]
+    if len(positive) < 2:
+        raise ValueError("need at least two positive points to fit a growth law")
+    if model == "polylog":
+        xs = [math.log(math.log2(n)) for n, _ in positive]
+    elif model == "power":
+        xs = [math.log(n) for n, _ in positive]
+    else:
+        raise ValueError(f"unknown model {model!r}")
+    ys = [math.log(c) for _, c in positive]
+    intercept, slope, r_squared = _least_squares(xs, ys)
+    return GrowthFit(
+        model=model,
+        coefficient=math.exp(intercept),
+        exponent=slope,
+        r_squared=r_squared,
+    )
+
+
+def growth_exponent(ns: Sequence[int], costs: Sequence[float]) -> float:
+    """Fitted exponent ``b`` of the power law ``cost ≈ a·n^b``.
+
+    This is the single most informative number for separating the complexity
+    classes: ≈ 0 for poly-logarithmic cost, ≈ 0.5 for the ``√n`` class,
+    ≈ 1 for linear cost.
+    """
+    return fit_growth(ns, costs, model="power").exponent
+
+
+def polylog_ratio(ns: Sequence[int], costs: Sequence[float]) -> float:
+    """Max/min of ``cost / log₂(n)²`` across the sweep.
+
+    For a genuinely ``O(log² n)`` quantity this ratio stays ``O(1)`` as ``n``
+    grows; for ``√n`` or linear quantities it grows with ``n``.  The
+    benchmarks print it next to the fitted exponents.
+    """
+    normalised = [c / (math.log2(max(2, n)) ** 2) for n, c in zip(ns, costs) if c > 0]
+    if not normalised:
+        return 1.0
+    return max(normalised) / min(normalised)
+
+
+def classify_growth(ns: Sequence[int], costs: Sequence[float]) -> Dict[str, float]:
+    """Return a summary of both fits, keyed for easy table printing."""
+    power = fit_growth(ns, costs, model="power")
+    poly = fit_growth(ns, costs, model="polylog")
+    return {
+        "power_exponent": round(power.exponent, 3),
+        "power_r2": round(power.r_squared, 3),
+        "polylog_exponent": round(poly.exponent, 3),
+        "polylog_r2": round(poly.r_squared, 3),
+        "polylog_ratio": round(polylog_ratio(ns, costs), 3),
+    }

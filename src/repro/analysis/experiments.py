@@ -1,0 +1,101 @@
+"""Sweep runners and table formatting shared by benchmarks and examples.
+
+Every benchmark in ``benchmarks/`` follows the same pattern: sweep a
+parameter (usually ``n``), collect one row of measurements per point, print a
+plain-text table mirroring the corresponding table/figure of the paper, and
+assert the qualitative shape.  The helpers here implement the sweep and the
+formatting so that each benchmark file reads as a description of *what* is
+measured rather than plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.net.results import SimulationResult
+from repro.runner import run_aer_experiment
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: Optional[str] = None) -> str:
+    """Render a list of flat dicts as an aligned plain-text table.
+
+    All rows are expected to share the same keys (the first row defines the
+    column order); values are rendered with ``str``.  The output is what the
+    benchmarks print so that the paper-vs-measured comparison is visible in
+    the pytest output and can be pasted into EXPERIMENTS.md.
+    """
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    columns = list(rows[0].keys())
+    rendered = [[str(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for line in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+    return "\n".join(lines)
+
+
+def result_row(result: SimulationResult, **extra: object) -> Dict[str, object]:
+    """Condense a :class:`SimulationResult` into one table row."""
+    metrics = result.metrics
+    row: Dict[str, object] = {
+        "n": result.n,
+        "decided": f"{len(result.decisions)}/{len(result.correct_ids)}",
+        "agreement": int(result.agreement_reached),
+        "rounds": metrics.rounds if metrics.rounds is not None else "-",
+        "span": round(metrics.span, 2) if metrics.span is not None else "-",
+        "amortized_bits": round(metrics.amortized_bits, 1),
+        "max_node_bits": metrics.max_node_bits,
+        "load_imbalance": round(metrics.load_imbalance, 2),
+    }
+    row.update(extra)
+    return row
+
+
+def sweep_aer(
+    ns: Iterable[int],
+    adversary_name: str = "none",
+    mode: str = "sync",
+    rushing: bool = False,
+    seed: int = 0,
+    **experiment_kwargs: object,
+) -> List[SimulationResult]:
+    """Run :func:`repro.runner.run_aer_experiment` for every ``n`` in the sweep."""
+    return [
+        run_aer_experiment(
+            n=n,
+            adversary_name=adversary_name,
+            mode=mode,
+            rushing=rushing,
+            seed=seed,
+            **experiment_kwargs,  # type: ignore[arg-type]
+        )
+        for n in ns
+    ]
+
+
+def sweep_rows(
+    ns: Iterable[int],
+    runner: Callable[[int], SimulationResult],
+    label: Optional[str] = None,
+) -> List[Dict[str, object]]:
+    """Run ``runner(n)`` for every ``n`` and collect table rows.
+
+    ``label`` (when given) is added to every row under the ``protocol``
+    column, which is how the Figure 1 benchmarks stack several protocols in
+    one table.
+    """
+    rows = []
+    for n in ns:
+        result = runner(n)
+        extra = {"protocol": label} if label is not None else {}
+        rows.append(result_row(result, **extra))
+    return rows

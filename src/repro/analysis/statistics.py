@@ -1,0 +1,64 @@
+"""Success-rate statistics for the paper's w.h.p. claims.
+
+Lemmas 5 and 7 assert events that hold *with high probability* (probability
+``1 − O(n^{-3})``).  A finite number of simulated trials can only bound the
+failure rate statistically, so the benchmarks report the observed success
+fraction together with a Wilson score confidence interval, which behaves well
+even when zero failures are observed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Returns ``(low, high)``; with zero trials the interval is ``(0, 1)``.
+    """
+    if trials <= 0:
+        return 0.0, 1.0
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must lie in [0, trials]")
+    phat = successes / trials
+    denom = 1 + z * z / trials
+    centre = phat + z * z / (2 * trials)
+    margin = z * math.sqrt((phat * (1 - phat) + z * z / (4 * trials)) / trials)
+    return max(0.0, (centre - margin) / denom), min(1.0, (centre + margin) / denom)
+
+
+@dataclass(frozen=True)
+class SuccessEstimate:
+    """Observed success rate of a repeated randomized experiment."""
+
+    successes: int
+    trials: int
+    low: float
+    high: float
+
+    @property
+    def rate(self) -> float:
+        """Observed success fraction (0 for zero trials)."""
+        return self.successes / self.trials if self.trials else 0.0
+
+    def row(self) -> dict:
+        """Flat dict for table printing."""
+        return {
+            "successes": self.successes,
+            "trials": self.trials,
+            "rate": round(self.rate, 4),
+            "ci_low": round(self.low, 4),
+            "ci_high": round(self.high, 4),
+        }
+
+
+def estimate_success(trial: Callable[[int], bool], trials: int, z: float = 1.96) -> SuccessEstimate:
+    """Run ``trial(seed)`` for seeds ``0..trials-1`` and summarise the success rate."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    successes = sum(1 for seed in range(trials) if trial(seed))
+    low, high = wilson_interval(successes, trials, z=z)
+    return SuccessEstimate(successes=successes, trials=trials, low=low, high=high)

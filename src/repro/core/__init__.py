@@ -1,0 +1,39 @@
+"""The paper's primary contribution: the AER and BA protocols.
+
+``AER`` (Section 3) solves the *almost-everywhere to everywhere* problem:
+given that more than half of the nodes are correct and already know a common
+string ``gstring``, it brings **every** correct node to know (and decide on)
+``gstring`` w.h.p., with amortized communication ``O~(1)`` per node, in
+``O(1)`` rounds against a synchronous non-rushing adversary and
+``O(log n / log log n)`` time asynchronously.
+
+``BA`` composes an almost-everywhere agreement substrate (in the style of
+[KSSV06], provided by :mod:`repro.ae`) with AER, yielding the paper's
+headline result: Byzantine Agreement with poly-logarithmic communication and
+time.
+
+Public surface
+--------------
+``AERConfig``      — all protocol parameters (quorum sizes, thresholds, seeds).
+``AERScenario``    — an input instance: who is Byzantine, who knows ``gstring``.
+``AERNode``        — the per-node protocol state machine (push + pull phases).
+``build_aer_nodes``— construct the correct-node population for a scenario.
+``BAConfig`` / ``BAProtocol`` — the composed Byzantine Agreement protocol.
+"""
+
+from repro.core.config import AERConfig, SamplerSuite
+from repro.core.scenario import AERScenario, build_aer_nodes, make_scenario
+from repro.core.aer import AERNode
+from repro.core.ba import BAConfig, BAProtocol, BAResult
+
+__all__ = [
+    "AERConfig",
+    "SamplerSuite",
+    "AERScenario",
+    "build_aer_nodes",
+    "make_scenario",
+    "AERNode",
+    "BAConfig",
+    "BAProtocol",
+    "BAResult",
+]

@@ -1,0 +1,149 @@
+"""The AER node: the per-node state machine of the paper's Section 3 protocol.
+
+An :class:`AERNode` glues together the two phase engines:
+
+* :class:`~repro.core.push.PushEngine` — diffusion and filtering of candidate
+  strings (Section 3.1.1);
+* :class:`~repro.core.pull.PullEngine` — verification of candidates through
+  poll lists and pull quorums (Section 3.1.2, Algorithms 1-3).
+
+The node's externally visible outcome is its :attr:`~repro.net.node.Node.decision`,
+which Lemma 7 shows equals ``gstring`` w.h.p. for every correct node.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import AERConfig, SamplerSuite
+from repro.core.messages import (
+    AnswerMessage,
+    Fw1Message,
+    Fw2Message,
+    PollMessage,
+    PullMessage,
+    PushMessage,
+)
+from repro.core.pull import PullEngine
+from repro.core.push import PushEngine
+from repro.net.messages import Message
+from repro.net.node import Node
+
+
+class AERNode(Node):
+    """A correct participant of the AER protocol.
+
+    Parameters
+    ----------
+    node_id:
+        The node's identity in ``[0, n)``.
+    config:
+        Protocol parameters (quorum sizes, answer budget, ...).
+    samplers:
+        The shared sampler suite ``(I, H, J)``; all nodes must be constructed
+        with the *same* suite, mirroring the paper's shared-sampler
+        assumption.
+    initial_candidate:
+        The node's candidate string ``s_x`` — equal to ``gstring`` for
+        knowledgeable nodes, arbitrary otherwise.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        config: AERConfig,
+        samplers: SamplerSuite,
+        initial_candidate: str,
+    ) -> None:
+        super().__init__(node_id)
+        self.config = config
+        self.samplers = samplers
+        self.initial_candidate = initial_candidate
+        #: the string this node currently believes to be ``gstring`` (``s_this``)
+        self.believed: str = initial_candidate
+        self._pull_phase_started = False
+
+        self.push_engine = PushEngine(
+            node_id=node_id,
+            push_sampler=samplers.push,
+            initial_candidate=initial_candidate,
+        )
+        self.pull_engine = PullEngine(
+            owner=self,
+            pull_sampler=samplers.pull,
+            poll_sampler=samplers.poll,
+            answer_budget=config.answer_budget,
+        )
+
+    # ------------------------------------------------------------------
+    # PullOwner interface
+    # ------------------------------------------------------------------
+    def random_label(self, label_space: int) -> int:
+        """Draw a private uniformly random poll label (Algorithm 1's ``UniformRand``)."""
+        return self.context.rng.randrange(label_space)
+
+    def decide(self, value: object) -> None:
+        """Decide on ``value`` and update the believed string accordingly.
+
+        The pseudocode's ``s_this ← s`` upon decision; flushing of work that
+        was waiting for the belief change is delegated to the pull engine.
+        """
+        if self.has_decided:
+            return
+        super().decide(value)
+        self.believed = str(value)
+        self.pull_engine.on_decided(self.believed)
+
+    # ------------------------------------------------------------------
+    # protocol callbacks
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        """Send the push-phase messages and (eagerly) start verifying ``s_x``."""
+        push = PushMessage(candidate=self.initial_candidate)
+        for target in self.push_engine.push_targets():
+            self.send(target, push)
+        if self.config.eager_pull:
+            self._pull_phase_started = True
+            self.pull_engine.start_poll(self.initial_candidate)
+
+    def on_round(self, round_no: int) -> None:
+        """Non-eager mode only: start the pull phase at the configured round."""
+        if self.config.eager_pull or self._pull_phase_started:
+            return
+        if round_no >= self.config.pull_start_round:
+            self._pull_phase_started = True
+            for candidate in sorted(self.push_engine.candidates):
+                self.pull_engine.start_poll(candidate)
+
+    def on_message(self, sender: int, message: Message) -> None:
+        """Dispatch to the phase engines by message type."""
+        if isinstance(message, PushMessage):
+            accepted = self.push_engine.receive_push(sender, message.candidate)
+            if accepted is not None and self._pull_phase_started:
+                self.pull_engine.start_poll(accepted)
+        elif isinstance(message, PullMessage):
+            self.pull_engine.on_pull(sender, message)
+        elif isinstance(message, PollMessage):
+            self.pull_engine.on_poll(sender, message)
+        elif isinstance(message, Fw1Message):
+            self.pull_engine.on_fw1(sender, message)
+        elif isinstance(message, Fw2Message):
+            self.pull_engine.on_fw2(sender, message)
+        elif isinstance(message, AnswerMessage):
+            self.pull_engine.on_answer(sender, message)
+        # unknown message kinds (e.g. junk injected by the adversary) are ignored
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def candidate_list(self) -> frozenset:
+        """The node's candidate list ``L_x``."""
+        return frozenset(self.push_engine.candidates)
+
+    @property
+    def knows_gstring(self) -> Optional[bool]:
+        """Whether the node has decided (``None`` while undecided)."""
+        if not self.has_decided:
+            return None
+        return True

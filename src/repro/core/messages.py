@@ -1,0 +1,112 @@
+"""Wire messages of the AER protocol (Algorithms 1-3).
+
+Six message types appear in the paper:
+
+======== ======================================================================
+``Push``  a node diffuses its candidate string (Section 3.1.1)
+``Poll``  the poller asks its poll list ``J(x, r)`` about a candidate
+``Pull``  the poller asks its pull quorum ``H(s, x)`` to vouch for the request
+``Fw1``   first forwarding hop: ``H(s, x)`` → ``H(s, w)`` for ``w ∈ J(x, r)``
+``Fw2``   second forwarding hop: ``H(s, w)`` → ``w``
+``Answer`` a poll-list member confirms the candidate back to the poller
+======== ======================================================================
+
+Every message carries exactly the fields the pseudocode gives it, and its
+:meth:`~repro.net.messages.Message.bits` method charges exactly the cost the
+paper's accounting assigns: candidate strings cost their length, node ids
+cost ``⌈log₂ n⌉`` bits, labels cost ``⌈log₂ |R|⌉`` bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.messages import Message, SizeModel
+
+
+@dataclass(frozen=True)
+class PushMessage(Message):
+    """Push phase: the sender vouches that its candidate string is ``candidate``."""
+
+    candidate: str
+    kind: str = "push"
+
+    def bits(self, size_model: SizeModel) -> int:
+        return size_model.kind_bits + len(self.candidate)
+
+
+@dataclass(frozen=True)
+class PollMessage(Message):
+    """Pull phase, Algorithm 1: poller ``x`` asks a poll-list member about ``candidate``."""
+
+    candidate: str
+    label: int
+    kind: str = "poll"
+
+    def bits(self, size_model: SizeModel) -> int:
+        return size_model.kind_bits + len(self.candidate) + size_model.label_bits
+
+
+@dataclass(frozen=True)
+class PullMessage(Message):
+    """Pull phase, Algorithm 1: poller ``x`` asks its pull quorum ``H(s, x)`` to forward."""
+
+    candidate: str
+    label: int
+    kind: str = "pull"
+
+    def bits(self, size_model: SizeModel) -> int:
+        return size_model.kind_bits + len(self.candidate) + size_model.label_bits
+
+
+@dataclass(frozen=True)
+class Fw1Message(Message):
+    """Algorithm 2, first hop: a member of ``H(s, x)`` forwards towards ``H(s, w)``.
+
+    Carries the original poller ``origin`` (= ``x``), the candidate, the
+    label ``r`` and the poll-list member ``target`` (= ``w``) the request is
+    ultimately destined for.
+    """
+
+    origin: int
+    candidate: str
+    label: int
+    target: int
+    kind: str = "fw1"
+
+    def bits(self, size_model: SizeModel) -> int:
+        return (
+            size_model.kind_bits
+            + 2 * size_model.id_bits
+            + len(self.candidate)
+            + size_model.label_bits
+        )
+
+
+@dataclass(frozen=True)
+class Fw2Message(Message):
+    """Algorithm 2/3, second hop: a member of ``H(s, w)`` forwards the request to ``w``."""
+
+    origin: int
+    candidate: str
+    label: int
+    kind: str = "fw2"
+
+    def bits(self, size_model: SizeModel) -> int:
+        return (
+            size_model.kind_bits
+            + size_model.id_bits
+            + len(self.candidate)
+            + size_model.label_bits
+        )
+
+
+@dataclass(frozen=True)
+class AnswerMessage(Message):
+    """Algorithm 3: a poll-list member confirms ``candidate`` back to the poller."""
+
+    candidate: str
+    kind: str = "answer"
+
+    def bits(self, size_model: SizeModel) -> int:
+        return size_model.kind_bits + len(self.candidate)

@@ -1,0 +1,299 @@
+"""Pull phase of AER (Section 3.1.2, Algorithms 1-3).
+
+To verify a candidate ``s ∈ L_x``, the poller ``x`` draws a private random
+label ``r`` and addresses two groups simultaneously:
+
+* the *poll list* ``J(x, r)`` — the nodes whose answers are authoritative;
+* its *pull quorum* ``H(s, x)`` — proxies that vouch for the request and
+  forward it towards the poll list, filtering floods on the way.
+
+The request travels ``x → H(s, x) → H(s, w) → w`` for each ``w ∈ J(x, r)``
+(messages ``Pull``, ``Fw1``, ``Fw2``), and each hop forwards only when a
+*majority of the previous hop* relayed the request **and** the candidate
+matches the forwarder's own believed string.  A poll-list member answers only
+within its ``log² n`` answer budget (or after it has itself decided), which
+is the filter that bounds the damage of the overload attack analysed in
+Lemma 6.  The poller decides ``s`` when a majority of ``J(x, r)`` answered.
+
+Implementation notes (documented deviations from the pseudocode, both
+strictly liveness-preserving and safety-neutral — see DESIGN.md §5):
+
+* forwarding state is kept per ``(poller, candidate, poll-list member)``
+  rather than per ``(poller, candidate)``, so a node that happens to sit in
+  the pull quorums of two different poll-list members serves both;
+* majority evidence arriving *before* the node believes the candidate is
+  recorded but not acted upon; when the node later decides (and therefore
+  updates its believed string, as the pseudocode's "``s_w`` was changed
+  accordingly" prescribes) the recorded evidence is re-examined.  This is the
+  "Wait for has_decided" branch of Algorithm 3 generalised to every hop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol, Set, Tuple
+
+from repro.core.messages import (
+    AnswerMessage,
+    Fw1Message,
+    Fw2Message,
+    PollMessage,
+    PullMessage,
+)
+from repro.samplers.hash_sampler import QuorumSampler
+from repro.samplers.poll_sampler import PollSampler
+
+
+class PullOwner(Protocol):
+    """What the pull engine needs from the node that owns it."""
+
+    @property
+    def node_id(self) -> int:
+        """The owning node's identity."""
+
+    @property
+    def believed(self) -> str:
+        """The string the node currently believes to be ``gstring``."""
+
+    @property
+    def has_decided(self) -> bool:
+        """Whether the node has already decided."""
+
+    def send(self, dest: int, message) -> None:
+        """Send a message over the authenticated channel."""
+
+    def decide(self, value: object) -> None:
+        """Irrevocably decide on ``value``."""
+
+    def random_label(self, label_space: int) -> int:
+        """Draw a fresh private random label."""
+
+
+class PullEngine:
+    """Per-node state of the pull phase (poller, proxy and poll-list roles combined)."""
+
+    def __init__(
+        self,
+        owner: PullOwner,
+        pull_sampler: QuorumSampler,
+        poll_sampler: PollSampler,
+        answer_budget: int,
+    ) -> None:
+        self.owner = owner
+        self.pull_sampler = pull_sampler
+        self.poll_sampler = poll_sampler
+        self.answer_budget = answer_budget
+
+        # ---- poller state (Algorithm 1) ------------------------------------
+        #: candidates for which a poll has been launched, with their labels
+        self.labels: Dict[str, int] = {}
+        #: per-candidate set of poll-list members that answered
+        self._answers: Dict[str, Set[int]] = {}
+
+        # ---- proxy state (Algorithm 2) -------------------------------------
+        #: pull requests already served, to prevent re-forwarding floods
+        self._served_pulls: Set[Tuple[int, str, int]] = set()
+        #: pull requests whose candidate we do not (yet) believe
+        self._pending_pulls: List[Tuple[int, str, int]] = []
+        #: votes per (origin, candidate, poll member): members of H(s, origin) that sent Fw1
+        self._fw1_votes: Dict[Tuple[int, str, int], Set[int]] = {}
+        #: labels attached to fw1 traffic, needed to re-examine after deciding
+        self._fw1_labels: Dict[Tuple[int, str, int], int] = {}
+        #: (origin, candidate, poll member) triples already forwarded with Fw2
+        self._fw2_sent: Set[Tuple[int, str, int]] = set()
+
+        # ---- poll-list state (Algorithm 3) ----------------------------------
+        #: votes per (origin, candidate): members of H(s, self) that sent Fw2
+        self._fw2_votes: Dict[Tuple[int, str], Set[int]] = {}
+        #: poll requests received, mapping (origin, candidate) -> label
+        self._polled: Dict[Tuple[int, str], int] = {}
+        #: labels observed in Fw2 traffic for (origin, candidate)
+        self._fw2_labels: Dict[Tuple[int, str], int] = {}
+        #: (origin, candidate) pairs already answered
+        self._answered: Set[Tuple[int, str]] = set()
+        #: answers deferred because the budget was exhausted before deciding
+        self._deferred_answers: List[Tuple[int, str]] = []
+        #: number of answers sent while undecided (counted against the budget)
+        self.answers_sent: int = 0
+
+    # ------------------------------------------------------------------
+    # Algorithm 1: the poller
+    # ------------------------------------------------------------------
+    def start_poll(self, candidate: str) -> None:
+        """Launch the verification of ``candidate`` (idempotent)."""
+        if candidate in self.labels or self.owner.has_decided:
+            return
+        label = self.owner.random_label(self.poll_sampler.label_space)
+        self.labels[candidate] = label
+        self._answers.setdefault(candidate, set())
+
+        poll = PollMessage(candidate=candidate, label=label)
+        for member in self.poll_sampler.poll_list(self.owner.node_id, label):
+            self.owner.send(member, poll)
+        pull = PullMessage(candidate=candidate, label=label)
+        for member in self.pull_sampler.quorum(candidate, self.owner.node_id):
+            self.owner.send(member, pull)
+
+    def on_answer(self, sender: int, message: AnswerMessage) -> None:
+        """Count an ``Answer`` towards the decision threshold (Algorithm 1)."""
+        candidate = message.candidate
+        label = self.labels.get(candidate)
+        if label is None or self.owner.has_decided:
+            return
+        poll_list = self.poll_sampler.poll_list(self.owner.node_id, label)
+        if sender not in poll_list:
+            return
+        answers = self._answers.setdefault(candidate, set())
+        if sender in answers:
+            return  # each poll-list member is counted at most once
+        answers.add(sender)
+        if len(answers) >= self.poll_sampler.majority_threshold(self.owner.node_id, label):
+            self.owner.decide(candidate)
+
+    # ------------------------------------------------------------------
+    # Algorithm 2: the proxy hops
+    # ------------------------------------------------------------------
+    def on_pull(self, sender: int, message: PullMessage) -> None:
+        """A poller asked us (as a member of ``H(s, sender)``) to vouch for its request."""
+        candidate, label = message.candidate, message.label
+        key = (sender, candidate, label)
+        if key in self._served_pulls:
+            return  # each pull request is served at most once (anti-flooding)
+        if self.owner.node_id not in self.pull_sampler.quorum(candidate, sender):
+            return
+        if candidate != self.owner.believed:
+            # Remember the request; if we later come to believe this candidate
+            # (by deciding on it) we will serve it then.
+            self._pending_pulls.append(key)
+            return
+        self._serve_pull(sender, candidate, label)
+
+    def _serve_pull(self, origin: int, candidate: str, label: int) -> None:
+        key = (origin, candidate, label)
+        if key in self._served_pulls:
+            return
+        self._served_pulls.add(key)
+        for target in self.poll_sampler.poll_list(origin, label):
+            fw1 = Fw1Message(origin=origin, candidate=candidate, label=label, target=target)
+            for member in self.pull_sampler.quorum(candidate, target):
+                self.owner.send(member, fw1)
+
+    def on_fw1(self, sender: int, message: Fw1Message) -> None:
+        """First forwarding hop reached us (as a member of ``H(s, w)``)."""
+        origin, candidate = message.origin, message.candidate
+        label, target = message.label, message.target
+        if self.owner.node_id not in self.pull_sampler.quorum(candidate, target):
+            return
+        if sender not in self.pull_sampler.quorum(candidate, origin):
+            return
+        if target not in self.poll_sampler.poll_list(origin, label):
+            return
+
+        key = (origin, candidate, target)
+        votes = self._fw1_votes.setdefault(key, set())
+        votes.add(sender)
+        self._fw1_labels[key] = label
+        if candidate != self.owner.believed:
+            return  # evidence recorded; acted upon if we ever believe the candidate
+        self._maybe_forward_fw2(origin, candidate, target)
+
+    def _maybe_forward_fw2(self, origin: int, candidate: str, target: int) -> None:
+        key = (origin, candidate, target)
+        if key in self._fw2_sent:
+            return
+        votes = self._fw1_votes.get(key, set())
+        threshold = self.pull_sampler.majority_threshold(candidate, origin)
+        if len(votes) >= threshold:
+            label = self._fw1_labels[key]
+            self._fw2_sent.add(key)
+            self.owner.send(
+                target, Fw2Message(origin=origin, candidate=candidate, label=label)
+            )
+
+    # ------------------------------------------------------------------
+    # Algorithm 3: the poll-list member
+    # ------------------------------------------------------------------
+    def on_fw2(self, sender: int, message: Fw2Message) -> None:
+        """Second forwarding hop reached us (as a member of ``J(origin, label)``)."""
+        origin, candidate, label = message.origin, message.candidate, message.label
+        if self.owner.node_id not in self.poll_sampler.poll_list(origin, label):
+            return
+        if sender not in self.pull_sampler.quorum(candidate, self.owner.node_id):
+            return
+
+        key = (origin, candidate)
+        votes = self._fw2_votes.setdefault(key, set())
+        votes.add(sender)
+        self._fw2_labels[key] = label
+        if candidate != self.owner.believed:
+            return  # recorded; re-examined after a decision updates the belief
+        self._maybe_answer(origin, candidate)
+
+    def on_poll(self, sender: int, message: PollMessage) -> None:
+        """The poller itself asked us directly (the ``Poll`` branch of Algorithm 3)."""
+        candidate, label = message.candidate, message.label
+        if self.owner.node_id not in self.poll_sampler.poll_list(sender, label):
+            return
+        key = (sender, candidate)
+        self._polled[key] = label
+        # "Necessary in the asynchronous case": the Fw2 majority may already be there.
+        if candidate == self.owner.believed:
+            self._maybe_answer(sender, candidate)
+
+    def _maybe_answer(self, origin: int, candidate: str) -> None:
+        key = (origin, candidate)
+        if key in self._answered or key not in self._polled:
+            return
+        votes = self._fw2_votes.get(key, set())
+        threshold = self.pull_sampler.majority_threshold(candidate, self.owner.node_id)
+        if len(votes) < threshold:
+            return
+        if not self.owner.has_decided and self.answers_sent >= self.answer_budget:
+            # Algorithm 3: "if Count > log² n: wait for has_decided".
+            self._deferred_answers.append(key)
+            return
+        self._answered.add(key)
+        if not self.owner.has_decided:
+            self.answers_sent += 1
+        self.owner.send(origin, AnswerMessage(candidate=candidate))
+
+    # ------------------------------------------------------------------
+    # decision hook
+    # ------------------------------------------------------------------
+    def on_decided(self, value: str) -> None:
+        """The owning node decided ``value``: flush work that was waiting on the belief.
+
+        This implements both the "wait for has_decided" branch of Algorithm 3
+        and the pseudocode's premise that a decided node has updated ``s_w``
+        and therefore now participates in the propagation of ``gstring``.
+        """
+        # Serve pull requests for the value we now believe.
+        pending, self._pending_pulls = self._pending_pulls, []
+        for origin, candidate, label in pending:
+            if candidate == value:
+                self._serve_pull(origin, candidate, label)
+
+        # Re-examine first-hop forwarding evidence.
+        for origin, candidate, target in list(self._fw1_votes):
+            if candidate == value:
+                self._maybe_forward_fw2(origin, candidate, target)
+
+        # Re-examine answering evidence, including previously deferred answers.
+        deferred, self._deferred_answers = self._deferred_answers, []
+        for origin, candidate in deferred:
+            if candidate == value:
+                self._maybe_answer(origin, candidate)
+        for origin, candidate in list(self._fw2_votes):
+            if candidate == value:
+                self._maybe_answer(origin, candidate)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def answers_for(self, candidate: str) -> int:
+        """Number of distinct poll-list members that answered ``candidate`` so far."""
+        return len(self._answers.get(candidate, set()))
+
+    @property
+    def polls_launched(self) -> int:
+        """Number of candidates this node has started verifying."""
+        return len(self.labels)

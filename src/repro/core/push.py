@@ -1,0 +1,118 @@
+"""Push phase of AER (Section 3.1.1).
+
+Every node ``y`` diffuses its initial candidate string ``s_y`` to exactly the
+nodes ``x`` whose push quorum ``I(s_y, x)`` contains ``y``.  A node ``x``
+accepts a string ``s`` into its candidate list ``L_x`` only when **more than
+half** of the members of ``I(s, x)`` have pushed ``s`` to it.
+
+Two properties follow (and are measured by the Lemma 3/4 benchmarks):
+
+* because no node is overloaded by the sampler ``I``, each correct node sends
+  only ``O(log n)`` push messages (Lemma 3);
+* because ``I`` is a sampler and more than half of all nodes are correct and
+  know ``gstring``, only ``O(n)`` quorums can have a majority pushing a wrong
+  string, so the candidate lists sum to ``O(n)`` (Lemma 4) — crucially the
+  phase is *impervious to flooding*: nodes never react to a push by sending
+  messages, so the adversary cannot amplify traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.samplers.hash_sampler import QuorumSampler
+
+
+class PushEngine:
+    """Per-node state of the push phase.
+
+    Parameters
+    ----------
+    node_id:
+        Identity of the owning node.
+    push_sampler:
+        The shared sampler ``I`` defining push quorums.
+    initial_candidate:
+        The node's own candidate string ``s_x`` (always part of ``L_x``).
+    max_tracked_strings:
+        Defensive cap on the number of distinct strings for which push votes
+        are tracked; a flooding adversary can make a node *track* strings (it
+        cannot make it accept them), and this cap bounds the memory cost of
+        doing so.  The cap is far above anything reachable in the experiments
+        and exists only so that memory use is provably bounded.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        push_sampler: QuorumSampler,
+        initial_candidate: str,
+        max_tracked_strings: int = 100_000,
+    ) -> None:
+        self.node_id = node_id
+        self.push_sampler = push_sampler
+        self.initial_candidate = initial_candidate
+        self.max_tracked_strings = max_tracked_strings
+        #: the candidate list ``L_x``
+        self.candidates: Set[str] = {initial_candidate}
+        #: per-string set of quorum members that pushed it
+        self._votes: Dict[str, Set[int]] = {}
+        #: pushes ignored because the sender was not in the relevant quorum
+        self.ignored_pushes: int = 0
+
+    # ------------------------------------------------------------------
+    # outgoing
+    # ------------------------------------------------------------------
+    def push_targets(self) -> Tuple[int, ...]:
+        """Nodes to which this node must push its candidate: ``I⁻¹(s_x, x)``.
+
+        These are exactly the nodes ``x`` with ``self.node_id ∈ I(s_x, x)``;
+        by the no-overload property of Lemma 1 there are ``O(log n)`` of them.
+        """
+        return self.push_sampler.inverse(self.initial_candidate, self.node_id)
+
+    # ------------------------------------------------------------------
+    # incoming
+    # ------------------------------------------------------------------
+    def receive_push(self, sender: int, candidate: str) -> Optional[str]:
+        """Process a push of ``candidate`` from ``sender``.
+
+        Returns the candidate string if this push completed a quorum majority
+        and the string was therefore *newly* added to ``L_x``; returns
+        ``None`` otherwise (already accepted, sender not in the quorum, or
+        majority not yet reached).
+        """
+        if candidate in self.candidates:
+            return None
+        quorum = self.push_sampler.quorum(candidate, self.node_id)
+        if sender not in quorum:
+            # The filter of Section 3.1.1: pushes from outside I(s, x) are ignored.
+            self.ignored_pushes += 1
+            return None
+
+        votes = self._votes.get(candidate)
+        if votes is None:
+            if len(self._votes) >= self.max_tracked_strings:
+                self.ignored_pushes += 1
+                return None
+            votes = set()
+            self._votes[candidate] = votes
+        votes.add(sender)
+
+        if len(votes) >= self.push_sampler.majority_threshold(candidate, self.node_id):
+            self.candidates.add(candidate)
+            del self._votes[candidate]
+            return candidate
+        return None
+
+    # ------------------------------------------------------------------
+    # introspection (used by tests and the Lemma 4 benchmark)
+    # ------------------------------------------------------------------
+    @property
+    def candidate_list_size(self) -> int:
+        """``|L_x|`` — summed over nodes this is the Lemma 4 quantity."""
+        return len(self.candidates)
+
+    def tracked_strings(self) -> List[str]:
+        """Strings with partial (sub-majority) vote counts — diagnostics only."""
+        return sorted(self._votes)

@@ -1,0 +1,173 @@
+"""Asynchronous event-queue scheduler.
+
+In the asynchronous model the adversary controls message scheduling: it may
+delay any message arbitrarily, subject only to *reliability* — a message sent
+to a non-faulty node is eventually delivered (Section 2.1).  The standard way
+to give "time complexity" a meaning in this model (and the one the paper's
+``O(log n / log log n)`` bound uses) is to normalize: after the fact, the
+longest delay experienced by any correct-to-correct message is defined to be
+one time unit, and the protocol's running time is measured in those units.
+
+Concretely, this simulator draws every message's delay from ``(0, 1]``:
+
+* by default from a :class:`DelayPolicy` (uniform at random, or constant);
+* the adversary may override the delay of any message it observes, again
+  within ``(0, 1]`` — this models the full scheduling power of an
+  asynchronous adversary without having to renormalize afterwards.
+
+The adversary in this model is inherently *rushing*: it observes every
+message at the moment it is sent, before deciding on its own messages and on
+the delays.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.net.messages import Message, SizeModel
+from repro.net.node import Node
+from repro.net.results import SimulationResult
+from repro.net.rng import derive_rng
+from repro.net.simulator import AdversaryProtocol, SendRecord, Simulator
+
+#: smallest delay any message may have; keeps event times strictly increasing
+MIN_DELAY = 1e-3
+
+
+class DelayPolicy:
+    """Default delay selection for messages the adversary does not touch."""
+
+    def delay(self, record: SendRecord, rng) -> float:
+        """Return the delay (in normalized units) for ``record``."""
+        raise NotImplementedError
+
+
+class ConstantDelayPolicy(DelayPolicy):
+    """Every message takes exactly ``value`` time units (default: the maximum, 1.0)."""
+
+    def __init__(self, value: float = 1.0) -> None:
+        if not MIN_DELAY <= value <= 1.0:
+            raise ValueError("delay must lie in [MIN_DELAY, 1.0]")
+        self.value = value
+
+    def delay(self, record: SendRecord, rng) -> float:
+        return self.value
+
+
+class RandomDelayPolicy(DelayPolicy):
+    """Delays drawn uniformly from ``[low, high] ⊆ (0, 1]`` — a benign network."""
+
+    def __init__(self, low: float = 0.1, high: float = 1.0) -> None:
+        if not MIN_DELAY <= low <= high <= 1.0:
+            raise ValueError("require MIN_DELAY <= low <= high <= 1.0")
+        self.low = low
+        self.high = high
+
+    def delay(self, record: SendRecord, rng) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+@dataclass(order=True)
+class _Event:
+    """Heap entry: delivery of one message."""
+
+    time: float
+    seq: int
+    sender: int = 0
+    dest: int = 0
+    message: Message = None  # type: ignore[assignment]
+    bits: int = 0
+
+
+class AsynchronousSimulator(Simulator):
+    """Event-driven execution with adversary-controlled, bounded delays.
+
+    Parameters (in addition to :class:`~repro.net.simulator.Simulator`)
+    ----------
+    delay_policy:
+        Delay selection for messages the adversary leaves alone.
+    max_time:
+        Safety cap on simulated (normalized) time.
+    max_events:
+        Safety cap on the number of delivered messages, protecting against
+        runaway protocols or adversaries.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        n: int,
+        adversary: Optional[AdversaryProtocol] = None,
+        seed: int = 0,
+        delay_policy: Optional[DelayPolicy] = None,
+        max_time: float = 200.0,
+        max_events: int = 2_000_000,
+        size_model: Optional[SizeModel] = None,
+    ) -> None:
+        super().__init__(nodes, n, adversary=adversary, seed=seed, size_model=size_model)
+        self.delay_policy = delay_policy or RandomDelayPolicy()
+        self.max_time = max_time
+        self.max_events = max_events
+        self._time = 0.0
+        self._seq = 0
+        self._queue: list[_Event] = []
+        self._scheduler_rng = derive_rng(seed, "scheduler")
+
+    # ------------------------------------------------------------------
+    # Simulator interface
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        return self._time
+
+    def dispatch_send(self, sender: int, dest: int, message: Message) -> None:
+        bits = self.metrics.record_send(sender, dest, message, self._time)
+        record = SendRecord(sender, dest, message, self._time)
+
+        delay: Optional[float] = None
+        if self.adversary is not None:
+            # Full-information model: the adversary observes every send and
+            # may pick the delay (reliability forces it into (0, 1]).
+            self.adversary.observe_send(record)
+            delay = self.adversary.delay_for(record)
+        if delay is None:
+            delay = self.delay_policy.delay(record, self._scheduler_rng)
+        delay = min(1.0, max(MIN_DELAY, float(delay)))
+
+        self._seq += 1
+        heapq.heappush(
+            self._queue,
+            _Event(
+                time=self._time + delay,
+                seq=self._seq,
+                sender=sender,
+                dest=dest,
+                message=message,
+                bits=bits,
+            ),
+        )
+
+    def run(self) -> SimulationResult:
+        """Process events until all correct nodes decide or a safety cap is hit."""
+        for node_id in self.correct_ids:
+            self.nodes[node_id].on_start()
+            self.note_decisions(node_id)
+        if self.adversary is not None:
+            self.adversary.on_start()
+
+        delivered = 0
+        while self._queue and not self.all_decided():
+            event = heapq.heappop(self._queue)
+            if event.time > self.max_time or delivered >= self.max_events:
+                break
+            self._time = event.time
+            self.deliver(event.sender, event.dest, event.message, event.bits)
+            delivered += 1
+
+        summary = self.metrics.summary(restrict_to=self.correct_ids)
+        span = summary.max_decision_time
+        if span is None:
+            span = self._time
+        self.metrics.record_span(span)
+        return self.build_result(rounds=None, span=span)

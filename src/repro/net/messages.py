@@ -1,0 +1,80 @@
+"""Wire message base class with explicit bit accounting.
+
+The paper's communication complexity (Section 2.1) counts *bits*, amortized
+over nodes.  To reproduce Figure 1 we therefore need a bit-accurate cost model
+rather than, say, the pickled size of Python objects.  Every message type
+declares how many bits it occupies on the wire through :meth:`Message.bits`,
+expressed in terms of the two primitive field sizes the paper uses:
+
+* a node identifier costs ``ceil(log2 n)`` bits,
+* a candidate string costs its own length (``c log n`` bits for ``gstring``),
+* a random label from ``R`` costs ``ceil(log2 |R|)`` bits.
+
+Concrete protocol messages live next to the protocols that use them (e.g.
+:mod:`repro.core.messages`); this module only provides the abstract base and
+the :class:`SizeModel` helper that encapsulates the primitive field sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SizeModel:
+    """Primitive field sizes used to account message bits.
+
+    Attributes
+    ----------
+    n:
+        Number of nodes in the system; a node id costs ``ceil(log2 n)`` bits.
+    label_space:
+        Cardinality of the label domain ``R`` used by the poll-list sampler
+        ``J`` (polynomial in ``n`` per Lemma 2); a label costs
+        ``ceil(log2 label_space)`` bits.
+    """
+
+    n: int
+    label_space: int = 0
+
+    @property
+    def id_bits(self) -> int:
+        """Bits needed to name one node."""
+        return max(1, math.ceil(math.log2(max(2, self.n))))
+
+    @property
+    def label_bits(self) -> int:
+        """Bits needed to transmit one random label from ``R``."""
+        if self.label_space <= 1:
+            return 0
+        return max(1, math.ceil(math.log2(self.label_space)))
+
+    @property
+    def kind_bits(self) -> int:
+        """Bits charged for the message-type tag (a small constant)."""
+        return 4
+
+
+class Message:
+    """Base class for every message exchanged in a simulation.
+
+    Subclasses are expected to be immutable (frozen dataclasses) so that the
+    adversary observing a message cannot mutate it in flight, and to override
+    :meth:`bits` with their exact cost.
+    """
+
+    #: short human-readable tag, overridden by subclasses
+    kind: str = "message"
+
+    def bits(self, size_model: SizeModel) -> int:
+        """Return the number of bits this message occupies on the wire.
+
+        The default charges only the message-type tag; protocol messages must
+        override this to add their payload cost.
+        """
+        return size_model.kind_bits
+
+    def describe(self) -> str:
+        """Return a short human-readable description used in traces."""
+        return self.kind

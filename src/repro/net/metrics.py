@@ -1,0 +1,233 @@
+"""Per-node and aggregate communication/time accounting.
+
+The paper reports (Figure 1, Lemmas 3-10):
+
+* *amortized communication complexity*: total bits exchanged divided by ``n``;
+* *per-node worst case*: the maximum bits any single node sends/receives,
+  which is what distinguishes a load-balanced protocol (KLST11) from AER;
+* *time complexity*: rounds in the synchronous model, normalized delay units
+  in the asynchronous model.
+
+:class:`MetricsCollector` records every send and delivery as the simulators
+execute, and :class:`MetricsSummary` condenses them into exactly the
+quantities the benchmarks print.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.net.messages import Message, SizeModel
+
+
+@dataclass
+class NodeTraffic:
+    """Raw traffic counters for a single node."""
+
+    sent_messages: int = 0
+    sent_bits: int = 0
+    received_messages: int = 0
+    received_bits: int = 0
+
+    @property
+    def total_bits(self) -> int:
+        """Bits this node both sent and received (the paper's per-node load)."""
+        return self.sent_bits + self.received_bits
+
+
+@dataclass(frozen=True)
+class MetricsSummary:
+    """Aggregated view of a finished run, in the paper's units.
+
+    Attributes
+    ----------
+    n:
+        System size.
+    total_messages / total_bits:
+        Sums over all nodes (each message counted once, at the sender).
+    amortized_bits:
+        ``total_bits / n`` — the paper's amortized communication complexity.
+    max_node_bits / median_node_bits / mean_node_bits:
+        Distribution of per-node load (sent + received bits).
+    load_imbalance:
+        ``max_node_bits / max(1, median_node_bits)`` — the quantity behind the
+        "Load-Balanced: Yes/No" row of Figure 1a.
+    rounds:
+        Number of synchronous rounds executed (``None`` for async runs).
+    span:
+        Normalized asynchronous completion time (``None`` for sync runs).
+    decision_times:
+        Per-node time (round or normalized time) at which each correct node
+        decided; empty for protocols without a decision step.
+    """
+
+    n: int
+    total_messages: int
+    total_bits: int
+    amortized_bits: float
+    max_node_bits: int
+    median_node_bits: float
+    mean_node_bits: float
+    load_imbalance: float
+    rounds: Optional[int]
+    span: Optional[float]
+    decision_times: Dict[int, float]
+    per_node_bits: Dict[int, int]
+
+    @property
+    def max_decision_time(self) -> Optional[float]:
+        """Latest decision time among correct nodes, or ``None`` if nobody decided."""
+        if not self.decision_times:
+            return None
+        return max(self.decision_times.values())
+
+    def row(self) -> Dict[str, float]:
+        """Return the summary as a flat dict convenient for tabular printing."""
+        return {
+            "n": self.n,
+            "total_messages": self.total_messages,
+            "total_bits": self.total_bits,
+            "amortized_bits": round(self.amortized_bits, 2),
+            "max_node_bits": self.max_node_bits,
+            "median_node_bits": round(self.median_node_bits, 2),
+            "load_imbalance": round(self.load_imbalance, 2),
+            "rounds": self.rounds if self.rounds is not None else -1,
+            "span": round(self.span, 3) if self.span is not None else -1,
+            "max_decision_time": (
+                round(self.max_decision_time, 3)
+                if self.max_decision_time is not None
+                else -1
+            ),
+        }
+
+
+class MetricsCollector:
+    """Records traffic and timing events during a simulation run.
+
+    The collector is deliberately dumb: the simulators call
+    :meth:`record_send` / :meth:`record_delivery` / :meth:`record_decision`
+    and everything else is derived lazily in :meth:`summary`.
+    """
+
+    def __init__(self, size_model: SizeModel) -> None:
+        self.size_model = size_model
+        self._traffic: Dict[int, NodeTraffic] = {}
+        self._decision_times: Dict[int, float] = {}
+        self._rounds: Optional[int] = None
+        self._span: Optional[float] = None
+        self._message_log_enabled = False
+        self._message_log: List[tuple] = []
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def enable_message_log(self) -> None:
+        """Keep a full (sender, dest, kind, bits, time) log — for tests/debugging only."""
+        self._message_log_enabled = True
+
+    @property
+    def message_log(self) -> List[tuple]:
+        """The full message log (empty unless :meth:`enable_message_log` was called)."""
+        return self._message_log
+
+    def _node(self, node_id: int) -> NodeTraffic:
+        traffic = self._traffic.get(node_id)
+        if traffic is None:
+            traffic = NodeTraffic()
+            self._traffic[node_id] = traffic
+        return traffic
+
+    def record_send(self, sender: int, dest: int, message: Message, time: float) -> int:
+        """Record ``sender`` putting ``message`` on the wire towards ``dest``.
+
+        Returns the bit cost charged, so the caller can reuse it for the
+        matching delivery record.
+        """
+        bits = message.bits(self.size_model)
+        traffic = self._node(sender)
+        traffic.sent_messages += 1
+        traffic.sent_bits += bits
+        if self._message_log_enabled:
+            self._message_log.append((sender, dest, message.kind, bits, time))
+        return bits
+
+    def record_delivery(self, dest: int, bits: int) -> None:
+        """Record ``dest`` receiving a message of the given bit cost."""
+        traffic = self._node(dest)
+        traffic.received_messages += 1
+        traffic.received_bits += bits
+
+    def record_decision(self, node_id: int, time: float) -> None:
+        """Record the (first) time at which ``node_id`` decided."""
+        self._decision_times.setdefault(node_id, time)
+
+    def record_rounds(self, rounds: int) -> None:
+        """Record the number of synchronous rounds the run took."""
+        self._rounds = rounds
+
+    def record_span(self, span: float) -> None:
+        """Record the normalized completion time of an asynchronous run."""
+        self._span = span
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def traffic_of(self, node_id: int) -> NodeTraffic:
+        """Return the raw counters for one node (zeros if it never communicated)."""
+        return self._traffic.get(node_id, NodeTraffic())
+
+    def per_node_bits(self, node_ids: Optional[List[int]] = None) -> Dict[int, int]:
+        """Return ``{node_id: sent+received bits}`` for the requested nodes."""
+        if node_ids is None:
+            node_ids = sorted(self._traffic)
+        return {node_id: self.traffic_of(node_id).total_bits for node_id in node_ids}
+
+    def summary(self, restrict_to: Optional[List[int]] = None) -> MetricsSummary:
+        """Condense the recorded events into a :class:`MetricsSummary`.
+
+        Parameters
+        ----------
+        restrict_to:
+            When given, per-node statistics (max/median/mean load, decision
+            times) are computed over these nodes only — the benchmarks use
+            this to report the load of *correct* nodes, as the paper does.
+            Totals (total bits/messages) always cover the whole system.
+        """
+        n = self.size_model.n
+        total_messages = sum(t.sent_messages for t in self._traffic.values())
+        total_bits = sum(t.sent_bits for t in self._traffic.values())
+
+        if restrict_to is None:
+            node_ids = list(range(n))
+            decisions = dict(self._decision_times)
+        else:
+            node_ids = list(restrict_to)
+            decisions = {
+                i: t for i, t in self._decision_times.items() if i in set(restrict_to)
+            }
+        per_node = {i: self.traffic_of(i).total_bits for i in node_ids}
+        loads = list(per_node.values())
+        if not loads:
+            loads = [0]
+
+        median_load = statistics.median(loads)
+        mean_load = statistics.fmean(loads)
+        max_load = max(loads)
+        imbalance = max_load / max(1.0, median_load)
+
+        return MetricsSummary(
+            n=n,
+            total_messages=total_messages,
+            total_bits=total_bits,
+            amortized_bits=total_bits / max(1, n),
+            max_node_bits=max_load,
+            median_node_bits=median_load,
+            mean_node_bits=mean_load,
+            load_imbalance=imbalance,
+            rounds=self._rounds,
+            span=self._span,
+            decision_times=decisions,
+            per_node_bits=per_node,
+        )

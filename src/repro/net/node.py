@@ -1,0 +1,111 @@
+"""Protocol participant base class and its interface to the network.
+
+A protocol (AER, the KSSV-style almost-everywhere agreement, or a baseline)
+is implemented as a :class:`Node` subclass: a small state machine that reacts
+to :meth:`Node.on_start`, :meth:`Node.on_round` and :meth:`Node.on_message`
+callbacks and talks to the outside world exclusively through the
+:class:`NodeContext` handed to it by the simulator.
+
+Keeping the node/network boundary this narrow is what lets the same protocol
+code run unchanged under the synchronous scheduler (rushing or non-rushing
+adversary) and the asynchronous one — which is precisely the comparison the
+paper makes between Lemma 8/9 and Lemma 6/10.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from repro.net.messages import Message
+from repro.net.rng import DeterministicRNG
+
+
+class NodeContext(Protocol):
+    """Capabilities the simulator grants to a single node.
+
+    The context enforces the model of Section 2.1: channels are authenticated
+    (the receiver learns the true sender id — a node cannot forge the sender
+    field because :meth:`send` stamps it), reliable, and the node's RNG is
+    private.
+    """
+
+    @property
+    def node_id(self) -> int:
+        """Identity of the node owning this context."""
+
+    @property
+    def n(self) -> int:
+        """Total number of nodes in the system."""
+
+    @property
+    def rng(self) -> DeterministicRNG:
+        """This node's private random number generator."""
+
+    def send(self, dest: int, message: Message) -> None:
+        """Send ``message`` to ``dest`` over the authenticated channel."""
+
+    def now(self) -> float:
+        """Current time: round number (sync) or event time (async)."""
+
+
+class Node:
+    """Base class for correct protocol participants.
+
+    Subclasses override the ``on_*`` callbacks; they must not keep references
+    to other node objects (all interaction goes through messages), which the
+    integration tests enforce by running protocols under both schedulers.
+    """
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self._context: Optional[NodeContext] = None
+        #: value this node has irrevocably decided on, or ``None``
+        self.decision: Optional[object] = None
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def bind(self, context: NodeContext) -> None:
+        """Attach the simulator-provided context.  Called once before the run."""
+        self._context = context
+
+    @property
+    def context(self) -> NodeContext:
+        """The bound context; raises if the node is used outside a simulation."""
+        if self._context is None:
+            raise RuntimeError(f"node {self.node_id} is not bound to a simulator")
+        return self._context
+
+    @property
+    def has_decided(self) -> bool:
+        """Whether the node has reached its final decision."""
+        return self.decision is not None
+
+    # ------------------------------------------------------------------
+    # convenience helpers available to subclasses
+    # ------------------------------------------------------------------
+    def send(self, dest: int, message: Message) -> None:
+        """Send ``message`` to node ``dest``."""
+        self.context.send(dest, message)
+
+    def multicast(self, dests, message: Message) -> None:
+        """Send the same ``message`` to every node in ``dests`` (a set/list of ids)."""
+        for dest in dests:
+            self.context.send(dest, message)
+
+    def decide(self, value: object) -> None:
+        """Record the node's irrevocable decision (first call wins)."""
+        if self.decision is None:
+            self.decision = value
+
+    # ------------------------------------------------------------------
+    # protocol callbacks (overridden by subclasses)
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        """Called once at time zero, before any message is delivered."""
+
+    def on_round(self, round_no: int) -> None:
+        """Called at the beginning of every synchronous round (sync scheduler only)."""
+
+    def on_message(self, sender: int, message: Message) -> None:
+        """Called for every delivered message; ``sender`` is authenticated."""

@@ -1,0 +1,75 @@
+"""Deterministic randomness utilities.
+
+The paper's model (Section 2.1) requires every node to possess a *private*
+random number generator, and the sampler constructions (Section 2.2) require
+all nodes to share common sampling functions ``I``, ``H`` and ``J`` without
+communicating.  Both needs are met here:
+
+* :func:`derive_rng` derives an independent, reproducible RNG stream for each
+  node (and for the adversary and the simulator itself) from a single master
+  seed, so that a whole experiment is a pure function of that seed.
+* :func:`stable_hash` is a keyed, platform-independent hash used to realise
+  the shared samplers as deterministic functions (Python's built-in ``hash``
+  is salted per process and therefore unsuitable).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Iterable
+
+
+class DeterministicRNG(random.Random):
+    """A :class:`random.Random` subclass tagged with the label it was derived from.
+
+    Behaviourally identical to ``random.Random``; the extra :attr:`label`
+    makes debugging of multi-party executions considerably easier because the
+    provenance of every random draw is visible in reprs and log lines.
+    """
+
+    def __init__(self, seed: int, label: str = "") -> None:
+        super().__init__(seed)
+        self.label = label
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic only
+        return f"DeterministicRNG(label={self.label!r})"
+
+
+def _digest(parts: Iterable[object]) -> bytes:
+    """Return a 16-byte blake2b digest of the canonical encoding of ``parts``."""
+    hasher = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        encoded = repr(part).encode("utf-8")
+        hasher.update(len(encoded).to_bytes(4, "big"))
+        hasher.update(encoded)
+    return hasher.digest()
+
+
+def stable_hash(*parts: object) -> int:
+    """Return a deterministic, platform-independent 128-bit hash of ``parts``.
+
+    Every argument is folded into the digest through its ``repr``; arguments
+    of different types therefore never collide accidentally (``1`` and ``"1"``
+    hash differently).  The function is the basis of the shared sampler
+    constructions in :mod:`repro.samplers`.
+    """
+    return int.from_bytes(_digest(parts), "big")
+
+
+def derive_rng(master_seed: int, *scope: object) -> DeterministicRNG:
+    """Derive an independent RNG for a scope such as ``("node", 17)``.
+
+    Two different scopes yield statistically independent streams; the same
+    scope always yields the same stream.  This is how per-node *private* RNGs
+    are realised: node ``i`` receives ``derive_rng(seed, "node", i)`` and the
+    adversary cannot predict its draws (the adversary object is simply never
+    handed that stream).
+    """
+    label = "/".join(repr(part) for part in scope)
+    return DeterministicRNG(stable_hash(master_seed, *scope), label=label)
+
+
+def random_bitstring(rng: random.Random, length: int) -> str:
+    """Return a uniformly random bit string (e.g. ``"011010"``) of ``length`` bits."""
+    return "".join("1" if rng.random() < 0.5 else "0" for _ in range(length))

@@ -1,0 +1,134 @@
+"""Synchronous lock-step scheduler.
+
+The synchronous model of Section 2.1: execution proceeds in rounds, and a
+message sent during round ``r`` is delivered during round ``r + 1``.  The
+adversary comes in two strengths:
+
+* *rushing* — during every round it sees the messages the correct nodes send
+  in that round before choosing its own messages;
+* *non-rushing* — it chooses its round-``r`` messages independently of the
+  correct nodes' round-``r`` messages (it still sees everything delivered up
+  to round ``r``).
+
+Lemma 8/9 of the paper are stated for the non-rushing case; the rushing case
+falls back to the asynchronous bound of Lemma 6.  Both are selectable here via
+the ``rushing`` flag so the benchmarks can reproduce the distinction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.net.messages import Message, SizeModel
+from repro.net.node import Node
+from repro.net.results import SimulationResult
+from repro.net.simulator import AdversaryProtocol, SendRecord, Simulator
+
+
+class SynchronousSimulator(Simulator):
+    """Round-based execution with a rushing or non-rushing adversary.
+
+    Parameters (in addition to :class:`~repro.net.simulator.Simulator`)
+    ----------
+    rushing:
+        Whether the adversary observes the current round's correct-node
+        messages before sending its own.
+    max_rounds:
+        Safety cap; the run stops (and the result reports whatever state was
+        reached) after this many rounds even if some node has not decided.
+    min_rounds:
+        Quiescence (an empty message queue) only terminates the run after
+        this many rounds; protocols that schedule activity at fixed future
+        rounds (e.g. the almost-everywhere coin protocol) set it so that an
+        idle early round does not end the run prematurely.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        n: int,
+        adversary: Optional[AdversaryProtocol] = None,
+        seed: int = 0,
+        rushing: bool = False,
+        max_rounds: int = 64,
+        min_rounds: int = 0,
+        size_model: Optional[SizeModel] = None,
+    ) -> None:
+        super().__init__(nodes, n, adversary=adversary, seed=seed, size_model=size_model)
+        self.rushing = rushing
+        self.max_rounds = max_rounds
+        self.min_rounds = min_rounds
+        self._round = 0
+        #: messages accepted this round, delivered at the start of the next one
+        self._outbox: List[tuple] = []
+        self._inbox: List[tuple] = []
+        #: records of correct-node sends this round (for a rushing adversary)
+        self._correct_sends_this_round: List[SendRecord] = []
+        self._in_adversary_turn = False
+
+    # ------------------------------------------------------------------
+    # Simulator interface
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        return float(self._round)
+
+    def dispatch_send(self, sender: int, dest: int, message: Message) -> None:
+        bits = self.metrics.record_send(sender, dest, message, self.now())
+        self._outbox.append((sender, dest, message, bits))
+        if sender in self.nodes and not self._in_adversary_turn:
+            self._correct_sends_this_round.append(
+                SendRecord(sender, dest, message, self.now())
+            )
+
+    def run(self) -> SimulationResult:
+        """Execute rounds until every correct node decides or ``max_rounds`` is hit."""
+        # Round 0: protocol start.
+        self._correct_sends_this_round = []
+        for node_id in self.correct_ids:
+            self.nodes[node_id].on_start()
+            self.note_decisions(node_id)
+        self._adversary_turn(round_no=0, starting=True)
+        decided_round = self._round if self.all_decided() else None
+
+        while not self.all_decided() and self._round < self.max_rounds:
+            if not self._outbox and self._round > 0 and self._round >= self.min_rounds:
+                break  # quiescent: no message in flight, nobody will ever act again
+            self._advance_round()
+            if self.all_decided() and decided_round is None:
+                decided_round = self._round
+
+        rounds = decided_round if decided_round is not None else self._round
+        self.metrics.record_rounds(rounds)
+        return self.build_result(rounds=rounds, span=None)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _advance_round(self) -> None:
+        """Deliver last round's messages, then let correct nodes and the adversary act."""
+        self._round += 1
+        self._inbox, self._outbox = self._outbox, []
+        self._correct_sends_this_round = []
+
+        for sender, dest, message, bits in self._inbox:
+            self.deliver(sender, dest, message, bits)
+        self._inbox = []
+
+        for node_id in self.correct_ids:
+            self.nodes[node_id].on_round(self._round)
+            self.note_decisions(node_id)
+
+        self._adversary_turn(round_no=self._round, starting=False)
+
+    def _adversary_turn(self, round_no: int, starting: bool) -> None:
+        """Give the adversary its (rushing or non-rushing) turn for this round."""
+        if self.adversary is None:
+            return
+        self._in_adversary_turn = True
+        try:
+            if starting:
+                self.adversary.on_start()
+            observed = list(self._correct_sends_this_round) if self.rushing else None
+            self.adversary.on_round(round_no, observed)
+        finally:
+            self._in_adversary_turn = False

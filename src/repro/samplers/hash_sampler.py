@@ -1,0 +1,120 @@
+"""Keyed-hash quorum samplers ``I`` and ``H`` (paper Lemma 1).
+
+Lemma 1 (from [KLST11]) asserts the existence of a ``(θ, δ)``-sampler
+``H : D × [n] → [n]^d`` with ``d = O(log n)`` such that no node is
+overloaded.  We realise it constructively with a keyed hash: the quorum of
+the pair ``(s, x)`` is the multiset-free set of ``d`` nodes obtained by
+hashing ``(seed, name, s, x, counter)`` until ``d`` distinct nodes have been
+produced.  Because the hash behaves like a random function, the construction
+is a uniformly random ``d``-subset for every input pair — which is exactly
+the probabilistic object whose existence (with the required properties) the
+lemma proves.  The empirical property checkers in
+:mod:`repro.samplers.properties` verify, for the sizes used in the
+experiments, that no node is overloaded and that the deviation bound holds.
+
+The same class implements both ``I`` (push quorums) and ``H`` (pull quorums);
+they differ only in the ``name`` key so the two families are independent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.net.rng import stable_hash
+from repro.samplers.base import SamplerSpec
+
+
+class QuorumSampler:
+    """Deterministic map from ``(string, node)`` pairs to quorums of size ``d``.
+
+    Parameters
+    ----------
+    spec:
+        Shared sampler parameters (``n``, ``d``, seed).
+    name:
+        Family name (``"I"`` for push quorums, ``"H"`` for pull quorums);
+        different names give independent samplers from the same seed.
+    """
+
+    def __init__(self, spec: SamplerSpec, name: str) -> None:
+        self.spec = spec
+        self.name = name
+        self.n = spec.n
+        self.quorum_size = min(spec.quorum_size, spec.n)
+        self._quorum_cache: Dict[Tuple[str, int], Tuple[int, ...]] = {}
+        self._inverse_cache: Dict[str, Dict[int, Tuple[int, ...]]] = {}
+        self._max_cached_strings = 64
+
+    # ------------------------------------------------------------------
+    # forward direction
+    # ------------------------------------------------------------------
+    def quorum(self, s: str, x: int) -> Tuple[int, ...]:
+        """Return the quorum assigned to string ``s`` and node ``x``.
+
+        The result is a sorted tuple of ``d`` distinct node identities and is
+        identical on every node evaluating it (shared sampler assumption).
+        """
+        key = (s, x)
+        cached = self._quorum_cache.get(key)
+        if cached is not None:
+            return cached
+
+        members: List[int] = []
+        seen = set()
+        counter = 0
+        while len(members) < self.quorum_size:
+            candidate = stable_hash(self.spec.seed, self.name, s, x, counter) % self.n
+            counter += 1
+            if candidate not in seen:
+                seen.add(candidate)
+                members.append(candidate)
+        result = tuple(sorted(members))
+
+        if len(self._quorum_cache) > 4 * self.n * self._max_cached_strings:
+            self._quorum_cache.clear()
+        self._quorum_cache[key] = result
+        return result
+
+    def contains(self, s: str, x: int, member: int) -> bool:
+        """Whether ``member`` belongs to the quorum of ``(s, x)``."""
+        return member in self.quorum(s, x)
+
+    def majority_threshold(self, s: str, x: int) -> int:
+        """Smallest count that constitutes "more than half" of quorum ``(s, x)``."""
+        return len(self.quorum(s, x)) // 2 + 1
+
+    # ------------------------------------------------------------------
+    # inverse direction
+    # ------------------------------------------------------------------
+    def inverse(self, s: str, y: int) -> Tuple[int, ...]:
+        """Return every node ``x`` such that ``y ∈ quorum(s, x)``.
+
+        The push phase needs this: a node ``y`` holding candidate ``s_y``
+        pushes it to exactly the nodes whose push quorum for ``s_y`` contains
+        ``y``.  Computing the inverse costs one pass over all ``n`` nodes and
+        is cached per string.
+        """
+        table = self._inverse_table(s)
+        return table.get(y, ())
+
+    def _inverse_table(self, s: str) -> Dict[int, Tuple[int, ...]]:
+        cached = self._inverse_cache.get(s)
+        if cached is not None:
+            return cached
+        builder: Dict[int, List[int]] = {}
+        for x in range(self.n):
+            for member in self.quorum(s, x):
+                builder.setdefault(member, []).append(x)
+        table = {member: tuple(targets) for member, targets in builder.items()}
+        if len(self._inverse_cache) >= self._max_cached_strings:
+            self._inverse_cache.clear()
+        self._inverse_cache[s] = table
+        return table
+
+    def load_of(self, s: str, y: int) -> int:
+        """Number of quorums (over all ``x``) for string ``s`` that contain ``y``.
+
+        A node is *overloaded* (Definition in Section 2.2) for constant ``a``
+        when this exceeds ``a · d``; Lemma 1 requires that no node is.
+        """
+        return len(self.inverse(s, y))

@@ -1,0 +1,77 @@
+"""The poll-list sampler ``J`` (paper Lemma 2).
+
+``J : [n] × R → [n]^d`` maps a node ``x`` and a random label ``r`` to the
+*poll list* that is authoritative for ``x``'s pull request labelled ``r``.
+Lemma 2 requires two properties:
+
+* **Property 1** — at most ``δ·n`` pairs ``(x, r)`` are mapped to a set with
+  a minority of good nodes, for any fixed good set of size ``(1/2 + ε)n``;
+* **Property 2** (novel) — no small family ``L`` of pairs (one label per
+  node, ``|L| = O(n / log n)``) can keep more than a third of its outgoing
+  poll-list edges inside its own node set ``L*``; formally
+  ``Σ_{(x,r)∈L} |J(x, r) \\ L*| > (2/3)·d·|L|``.
+
+Property 2 is what prevents the adversary from "cornering" a set of nodes and
+starving their polls (it powers the ``O(log n / log log n)`` asynchronous
+bound of Lemma 6).  Section 4.1 of the paper proves that a uniformly random
+digraph satisfies it with probability ``1 - o(n² 2^{-n})``; our keyed-hash
+construction is such a random digraph, and
+:func:`repro.samplers.properties.property2_holds` checks concrete instances.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.net.rng import stable_hash
+from repro.samplers.base import SamplerSpec
+
+
+class PollSampler:
+    """Deterministic map from ``(node, label)`` pairs to poll lists of size ``d``."""
+
+    def __init__(self, spec: SamplerSpec, name: str = "J") -> None:
+        self.spec = spec
+        self.name = name
+        self.n = spec.n
+        self.list_size = min(spec.quorum_size, spec.n)
+        self.label_space = spec.label_space
+        self._cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+
+    def random_label(self, rng: random.Random) -> int:
+        """Draw a fresh uniformly random label ``r ∈ R`` from a private RNG."""
+        return rng.randrange(self.label_space)
+
+    def poll_list(self, x: int, r: int) -> Tuple[int, ...]:
+        """Return the poll list ``J(x, r)`` — a sorted tuple of ``d`` distinct nodes."""
+        if not 0 <= r < self.label_space:
+            raise ValueError(f"label {r} outside the label space [0, {self.label_space})")
+        key = (x, r)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        members: List[int] = []
+        seen = set()
+        counter = 0
+        while len(members) < self.list_size:
+            candidate = stable_hash(self.spec.seed, self.name, x, r, counter) % self.n
+            counter += 1
+            if candidate not in seen:
+                seen.add(candidate)
+                members.append(candidate)
+        result = tuple(sorted(members))
+
+        if len(self._cache) > 200_000:
+            self._cache.clear()
+        self._cache[key] = result
+        return result
+
+    def contains(self, x: int, r: int, member: int) -> bool:
+        """Whether ``member`` belongs to ``J(x, r)``."""
+        return member in self.poll_list(x, r)
+
+    def majority_threshold(self, x: int, r: int) -> int:
+        """Smallest count that constitutes "more than half" of ``J(x, r)``."""
+        return len(self.poll_list(x, r)) // 2 + 1

@@ -1,0 +1,65 @@
+"""Shared fixtures for the test-suite.
+
+Everything is deterministic: fixtures take fixed seeds so failures are
+reproducible, and the "small" system sizes keep the full suite fast while
+still exercising real quorum logic (quorums of 7+ members, 16% Byzantine).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import AERConfig
+from repro.core.scenario import make_scenario
+from repro.runner import run_aer
+
+SMALL_N = 32
+MEDIUM_N = 64
+
+
+@pytest.fixture(scope="session")
+def small_config() -> AERConfig:
+    """AER configuration for a 32-node system."""
+    return AERConfig.for_system(SMALL_N, sampler_seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_scenario(small_config):
+    """A comfortable almost-everywhere scenario on 32 nodes (seed 11)."""
+    return make_scenario(
+        SMALL_N,
+        config=small_config,
+        t=SMALL_N // 6,
+        knowledge_fraction=0.78,
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_samplers(small_config):
+    """Shared sampler suite for the 32-node configuration."""
+    return small_config.build_samplers()
+
+
+@pytest.fixture(scope="session")
+def medium_config() -> AERConfig:
+    """AER configuration for a 64-node system."""
+    return AERConfig.for_system(MEDIUM_N, sampler_seed=7)
+
+
+@pytest.fixture(scope="session")
+def medium_scenario(medium_config):
+    """A comfortable almost-everywhere scenario on 64 nodes (seed 7)."""
+    return make_scenario(
+        MEDIUM_N,
+        config=medium_config,
+        t=MEDIUM_N // 6,
+        knowledge_fraction=0.78,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_sync_result(small_scenario, small_config):
+    """One failure-free synchronous AER run on the small scenario (reused by many tests)."""
+    return run_aer(small_scenario, config=small_config, adversary_name="none", seed=11)

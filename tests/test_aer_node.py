@@ -1,0 +1,157 @@
+"""Tests for the AER node state machine and end-to-end AER behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aer import AERNode
+from repro.core.config import AERConfig
+from repro.core.messages import PushMessage
+from repro.core.scenario import build_aer_nodes, make_scenario
+from repro.net.sync import SynchronousSimulator
+from repro.runner import run_aer
+
+
+class TestNodeBasics:
+    def test_believed_starts_as_initial_candidate(self, small_config):
+        samplers = small_config.build_samplers()
+        node = AERNode(0, small_config, samplers, initial_candidate="abc")
+        assert node.believed == "abc"
+        assert not node.has_decided
+
+    def test_decide_updates_belief(self, small_config):
+        samplers = small_config.build_samplers()
+        node = AERNode(0, small_config, samplers, initial_candidate="abc")
+        node.decide("xyz")
+        assert node.has_decided
+        assert node.believed == "xyz"
+        assert node.decision == "xyz"
+
+    def test_decide_is_irrevocable(self, small_config):
+        samplers = small_config.build_samplers()
+        node = AERNode(0, small_config, samplers, initial_candidate="abc")
+        node.decide("first")
+        node.decide("second")
+        assert node.decision == "first"
+        assert node.believed == "first"
+
+    def test_candidate_list_starts_with_own_candidate(self, small_config):
+        samplers = small_config.build_samplers()
+        node = AERNode(0, small_config, samplers, initial_candidate="abc")
+        assert node.candidate_list == frozenset({"abc"})
+
+    def test_knows_gstring_none_until_decided(self, small_config):
+        samplers = small_config.build_samplers()
+        node = AERNode(0, small_config, samplers, initial_candidate="abc")
+        assert node.knows_gstring is None
+        node.decide("abc")
+        assert node.knows_gstring is True
+
+
+class TestEndToEnd:
+    def test_failure_free_run_reaches_agreement(self, small_scenario, small_config, small_sync_result):
+        result = small_sync_result
+        assert result.agreement_reached
+        assert result.agreement_value() == small_scenario.gstring
+
+    def test_constant_round_count_without_adversary(self, small_sync_result):
+        # Push (1) + Poll/Pull (1) + Fw1 (1) + Fw2 (1) + Answer (1) ≈ 5 rounds.
+        assert small_sync_result.rounds <= 6
+
+    def test_every_decision_is_gstring(self, small_scenario, small_sync_result):
+        assert all(v == small_scenario.gstring for v in small_sync_result.decisions.values())
+
+    def test_byzantine_nodes_have_no_decisions(self, small_scenario, small_sync_result):
+        assert not set(small_sync_result.decisions) & set(small_scenario.byzantine_ids)
+
+    def test_knowledgeable_nodes_keep_their_candidate(self, small_scenario, small_config):
+        result = run_aer(small_scenario, config=small_config, adversary_name="none", seed=3)
+        for node_id in small_scenario.knowledgeable_ids:
+            assert result.decisions[node_id] == small_scenario.gstring
+
+    def test_sum_of_candidate_lists_linear(self, small_scenario, small_config):
+        samplers = small_config.build_samplers()
+        nodes = build_aer_nodes(small_scenario, small_config, samplers=samplers)
+        SynchronousSimulator(
+            nodes=nodes, n=small_scenario.n, seed=1, size_model=small_config.size_model()
+        ).run()
+        total = sum(node.push_engine.candidate_list_size for node in nodes)
+        # Lemma 4: O(n); without an adversary the constant is tiny.
+        assert total <= 3 * small_scenario.n
+
+    def test_non_eager_mode_still_agrees(self, small_scenario):
+        config = AERConfig.for_system(small_scenario.n, sampler_seed=11).with_(
+            eager_pull=False, pull_start_round=2
+        )
+        result = run_aer(small_scenario, config=config, adversary_name="none", seed=5)
+        assert result.agreement_reached
+        assert result.agreement_value() == small_scenario.gstring
+
+    def test_async_mode_agrees(self, small_scenario, small_config):
+        result = run_aer(
+            small_scenario, config=small_config, adversary_name="none", mode="async", seed=2
+        )
+        assert result.agreement_reached
+        assert result.agreement_value() == small_scenario.gstring
+        assert result.span is not None
+
+    def test_unknown_junk_messages_ignored(self, small_config):
+        samplers = small_config.build_samplers()
+        node = AERNode(0, small_config, samplers, initial_candidate="abc")
+
+        class FakeContext:
+            node_id = 0
+            n = small_config.n
+            rng = None
+
+            def send(self, dest, message):
+                raise AssertionError("junk must not trigger sends")
+
+            def now(self):
+                return 0.0
+
+        node.bind(FakeContext())
+        from repro.net.messages import Message
+
+        node.on_message(5, Message())  # must not raise nor send
+
+    def test_push_triggers_candidate_acceptance(self, small_config):
+        samplers = small_config.build_samplers()
+        scenario = make_scenario(small_config.n, config=small_config, t=4, knowledge_fraction=0.8, seed=13)
+        nodes = build_aer_nodes(scenario, small_config, samplers=samplers)
+        target = nodes[0]
+        quorum = samplers.push.quorum("forced-string", target.node_id)
+
+        class FakeContext:
+            node_id = target.node_id
+            n = small_config.n
+
+            def __init__(self):
+                from repro.net.rng import derive_rng
+
+                self.rng = derive_rng(0, "test")
+
+            def send(self, dest, message):
+                pass
+
+            def now(self):
+                return 0.0
+
+        target.bind(FakeContext())
+        for sender in quorum[: len(quorum) // 2 + 1]:
+            target.on_message(sender, PushMessage(candidate="forced-string"))
+        assert "forced-string" in target.candidate_list
+
+
+class TestDeterminism:
+    def test_same_seed_identical_results(self, small_scenario, small_config):
+        a = run_aer(small_scenario, config=small_config, adversary_name="none", seed=9)
+        b = run_aer(small_scenario, config=small_config, adversary_name="none", seed=9)
+        assert a.decisions == b.decisions
+        assert a.metrics.total_bits == b.metrics.total_bits
+        assert a.rounds == b.rounds
+
+    def test_different_seed_same_agreement(self, small_scenario, small_config):
+        a = run_aer(small_scenario, config=small_config, adversary_name="none", seed=1)
+        b = run_aer(small_scenario, config=small_config, adversary_name="none", seed=2)
+        assert a.agreement_value() == b.agreement_value() == small_scenario.gstring

@@ -1,0 +1,211 @@
+"""Tests for the asynchronous event-queue scheduler."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import pytest
+
+from repro.net.asynchronous import (
+    MIN_DELAY,
+    AsynchronousSimulator,
+    ConstantDelayPolicy,
+    RandomDelayPolicy,
+)
+from repro.net.messages import Message
+from repro.net.node import Node
+
+
+@dataclass(frozen=True)
+class Tick(Message):
+    hops: int = 0
+    kind: str = "tick"
+
+
+class ChainNode(Node):
+    """Forwards a token along the ring a fixed number of hops, then decides."""
+
+    def __init__(self, node_id: int, n: int, max_hops: int) -> None:
+        super().__init__(node_id)
+        self.n = n
+        self.max_hops = max_hops
+        self.deliveries: List[float] = []
+
+    def on_start(self) -> None:
+        if self.node_id == 0:
+            self.send(1 % self.n, Tick(hops=1))
+
+    def on_message(self, sender: int, message: Message) -> None:
+        self.deliveries.append(self.context.now())
+        if isinstance(message, Tick):
+            if message.hops >= self.max_hops:
+                self.decide(message.hops)
+            else:
+                self.send((self.node_id + 1) % self.n, Tick(hops=message.hops + 1))
+            if not self.has_decided and message.hops >= self.max_hops:
+                self.decide(message.hops)
+
+
+class AllDecideNode(Node):
+    def on_start(self) -> None:
+        for peer in range(self.context.n):
+            if peer != self.node_id:
+                self.send(peer, Tick())
+
+    def on_message(self, sender: int, message: Message) -> None:
+        self.decide("ok")
+
+
+class DelayRecordingAdversary:
+    """Observes all sends and forces a fixed delay on them."""
+
+    def __init__(self, byz_ids, forced_delay):
+        self._byz = frozenset(byz_ids)
+        self.forced_delay = forced_delay
+        self.observed: List = []
+
+    @property
+    def byzantine_ids(self):
+        return self._byz
+
+    def bind(self, context):
+        self.context = context
+
+    def on_start(self):
+        pass
+
+    def on_deliver(self, byz_id, sender, message):
+        pass
+
+    def on_round(self, round_no, observed):
+        pass
+
+    def observe_send(self, record):
+        self.observed.append(record)
+
+    def delay_for(self, record):
+        return self.forced_delay
+
+
+class TestDelayPolicies:
+    def test_constant_policy_returns_value(self):
+        policy = ConstantDelayPolicy(0.25)
+        assert policy.delay(None, None) == 0.25
+
+    def test_constant_policy_validates_range(self):
+        with pytest.raises(ValueError):
+            ConstantDelayPolicy(2.0)
+        with pytest.raises(ValueError):
+            ConstantDelayPolicy(0.0)
+
+    def test_random_policy_within_bounds(self):
+        import random
+
+        policy = RandomDelayPolicy(0.2, 0.7)
+        rng = random.Random(0)
+        for _ in range(100):
+            assert 0.2 <= policy.delay(None, rng) <= 0.7
+
+    def test_random_policy_validates_bounds(self):
+        with pytest.raises(ValueError):
+            RandomDelayPolicy(0.5, 0.1)
+
+    def test_base_policy_is_abstract(self):
+        from repro.net.asynchronous import DelayPolicy
+
+        with pytest.raises(NotImplementedError):
+            DelayPolicy().delay(None, None)
+
+
+class TestExecution:
+    def test_time_advances_monotonically(self):
+        nodes = [ChainNode(i, 4, max_hops=6) for i in range(4)]
+        sim = AsynchronousSimulator(nodes=nodes, n=4, seed=1)
+        sim.run()
+        for node in nodes:
+            assert node.deliveries == sorted(node.deliveries)
+
+    def test_span_reflects_chain_length_with_constant_delays(self):
+        nodes = [ChainNode(i, 3, max_hops=5) for i in range(3)]
+        sim = AsynchronousSimulator(
+            nodes=nodes, n=3, seed=1, delay_policy=ConstantDelayPolicy(1.0)
+        )
+        result = sim.run()
+        # 5 hops at exactly one time unit each
+        assert result.span == pytest.approx(5.0)
+
+    def test_all_nodes_decide_simple_broadcast(self):
+        nodes = [AllDecideNode(i) for i in range(5)]
+        result = AsynchronousSimulator(nodes=nodes, n=5, seed=2).run()
+        assert result.all_correct_decided
+        assert result.rounds is None
+        assert result.span is not None
+
+    def test_delays_never_exceed_reliability_bound(self):
+        nodes = [AllDecideNode(i) for i in range(6)]
+        result = AsynchronousSimulator(nodes=nodes, n=6, seed=3).run()
+        # every message has delay <= 1, and only one "wave" of messages exists
+        assert result.span <= 1.0 + 1e-9
+
+    def test_max_events_cap_stops_runaway(self):
+        class PingPong(Node):
+            def on_start(self):
+                self.send(1 - self.node_id, Tick())
+
+            def on_message(self, sender, message):
+                self.send(sender, Tick())  # never decides
+
+        sim = AsynchronousSimulator(
+            nodes=[PingPong(0), PingPong(1)], n=2, seed=0, max_events=50
+        )
+        result = sim.run()
+        assert not result.all_correct_decided
+        assert result.metrics.total_messages >= 50
+
+    def test_max_time_cap(self):
+        class Slowpoke(Node):
+            def on_start(self):
+                self.send(self.node_id, Tick())
+
+            def on_message(self, sender, message):
+                self.send(self.node_id, Tick())
+
+        sim = AsynchronousSimulator(
+            nodes=[Slowpoke(0)], n=1, seed=0, max_time=5.0,
+            delay_policy=ConstantDelayPolicy(1.0),
+        )
+        result = sim.run()
+        assert not result.all_correct_decided
+
+    def test_determinism(self):
+        r1 = AsynchronousSimulator(nodes=[AllDecideNode(i) for i in range(5)], n=5, seed=9).run()
+        r2 = AsynchronousSimulator(nodes=[AllDecideNode(i) for i in range(5)], n=5, seed=9).run()
+        assert r1.span == r2.span
+        assert r1.metrics.total_bits == r2.metrics.total_bits
+
+
+class TestAdversaryScheduling:
+    def test_adversary_observes_every_send(self):
+        adversary = DelayRecordingAdversary({5}, forced_delay=None)
+        nodes = [AllDecideNode(i) for i in range(5)]
+        result = AsynchronousSimulator(nodes=nodes, n=6, adversary=adversary, seed=1).run()
+        assert len(adversary.observed) == result.metrics.total_messages
+
+    def test_adversary_controls_delays(self):
+        adversary = DelayRecordingAdversary({5}, forced_delay=1.0)
+        nodes = [AllDecideNode(i) for i in range(5)]
+        result = AsynchronousSimulator(nodes=nodes, n=6, adversary=adversary, seed=1).run()
+        assert result.span == pytest.approx(1.0)
+
+    def test_adversary_delay_clamped_to_reliability_bound(self):
+        adversary = DelayRecordingAdversary({5}, forced_delay=100.0)
+        nodes = [AllDecideNode(i) for i in range(5)]
+        result = AsynchronousSimulator(nodes=nodes, n=6, adversary=adversary, seed=1).run()
+        assert result.span <= 1.0 + 1e-9
+
+    def test_adversary_delay_clamped_to_min_delay(self):
+        adversary = DelayRecordingAdversary({5}, forced_delay=0.0)
+        nodes = [AllDecideNode(i) for i in range(5)]
+        result = AsynchronousSimulator(nodes=nodes, n=6, adversary=adversary, seed=1).run()
+        assert result.span >= MIN_DELAY

@@ -1,0 +1,116 @@
+"""Bit-accounting tests for every wire message type."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ae.messages import ContributionMessage, EchoMessage, RelayMessage
+from repro.baselines.sample_majority import QueryMessage
+from repro.core.messages import (
+    AnswerMessage,
+    Fw1Message,
+    Fw2Message,
+    PollMessage,
+    PullMessage,
+    PushMessage,
+)
+from repro.net.messages import Message, SizeModel
+
+
+@pytest.fixture
+def size_model() -> SizeModel:
+    return SizeModel(n=128, label_space=128 * 128)
+
+
+class TestSizeModel:
+    def test_id_bits(self, size_model):
+        assert size_model.id_bits == 7
+
+    def test_label_bits(self, size_model):
+        assert size_model.label_bits == 14
+
+    def test_small_system_id_bits_at_least_one(self):
+        assert SizeModel(n=1).id_bits >= 1
+        assert SizeModel(n=2).id_bits == 1
+
+    def test_zero_label_space_means_zero_label_bits(self):
+        assert SizeModel(n=16).label_bits == 0
+
+    def test_kind_bits_constant(self, size_model):
+        assert size_model.kind_bits == 4
+
+
+class TestBaseMessage:
+    def test_default_bits_is_kind_only(self, size_model):
+        assert Message().bits(size_model) == size_model.kind_bits
+
+    def test_describe_returns_kind(self):
+        assert Message().describe() == "message"
+
+
+class TestCoreMessages:
+    def test_push_charges_string_length(self, size_model):
+        msg = PushMessage(candidate="0" * 24)
+        assert msg.bits(size_model) == size_model.kind_bits + 24
+
+    def test_poll_charges_string_and_label(self, size_model):
+        msg = PollMessage(candidate="1" * 24, label=3)
+        assert msg.bits(size_model) == size_model.kind_bits + 24 + size_model.label_bits
+
+    def test_pull_same_cost_as_poll(self, size_model):
+        poll = PollMessage(candidate="1" * 24, label=3)
+        pull = PullMessage(candidate="1" * 24, label=3)
+        assert poll.bits(size_model) == pull.bits(size_model)
+
+    def test_fw1_charges_two_ids(self, size_model):
+        msg = Fw1Message(origin=1, candidate="0" * 10, label=5, target=2)
+        expected = size_model.kind_bits + 2 * size_model.id_bits + 10 + size_model.label_bits
+        assert msg.bits(size_model) == expected
+
+    def test_fw2_charges_one_id(self, size_model):
+        msg = Fw2Message(origin=1, candidate="0" * 10, label=5)
+        expected = size_model.kind_bits + size_model.id_bits + 10 + size_model.label_bits
+        assert msg.bits(size_model) == expected
+
+    def test_answer_charges_string(self, size_model):
+        assert AnswerMessage(candidate="01" * 8).bits(size_model) == size_model.kind_bits + 16
+
+    def test_messages_are_frozen(self):
+        msg = PushMessage(candidate="0")
+        with pytest.raises(Exception):
+            msg.candidate = "1"  # type: ignore[misc]
+
+    def test_kinds_are_distinct(self):
+        kinds = {
+            PushMessage(candidate="0").kind,
+            PollMessage(candidate="0", label=0).kind,
+            PullMessage(candidate="0", label=0).kind,
+            Fw1Message(origin=0, candidate="0", label=0, target=1).kind,
+            Fw2Message(origin=0, candidate="0", label=0).kind,
+            AnswerMessage(candidate="0").kind,
+        }
+        assert len(kinds) == 6
+
+    def test_longer_strings_cost_more(self, size_model):
+        short = PushMessage(candidate="0" * 8).bits(size_model)
+        long = PushMessage(candidate="0" * 64).bits(size_model)
+        assert long - short == 56
+
+
+class TestAeMessages:
+    def test_contribution_cost(self, size_model):
+        assert ContributionMessage(bits_value="0" * 20).bits(size_model) == size_model.kind_bits + 20
+
+    def test_echo_cost_scales_with_entries(self, size_model):
+        one = EchoMessage(view=((1, "0" * 20),)).bits(size_model)
+        three = EchoMessage(view=((1, "0" * 20), (2, "0" * 20), (3, "0" * 20))).bits(size_model)
+        assert three - one == 2 * (size_model.id_bits + 20)
+
+    def test_relay_cost(self, size_model):
+        msg = RelayMessage(committee_index=4, value="1" * 20)
+        assert msg.bits(size_model) == size_model.kind_bits + size_model.id_bits + 20
+
+
+class TestBaselineMessages:
+    def test_query_is_cheap(self, size_model):
+        assert QueryMessage().bits(size_model) == size_model.kind_bits

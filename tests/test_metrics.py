@@ -1,0 +1,143 @@
+"""Tests for the communication/time accounting (repro.net.metrics)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.messages import PushMessage
+from repro.net.messages import Message, SizeModel
+from repro.net.metrics import MetricsCollector, NodeTraffic
+
+
+def make_collector(n: int = 8) -> MetricsCollector:
+    return MetricsCollector(SizeModel(n=n))
+
+
+class TestNodeTraffic:
+    def test_total_bits_sums_both_directions(self):
+        traffic = NodeTraffic(sent_bits=10, received_bits=7)
+        assert traffic.total_bits == 17
+
+    def test_defaults_are_zero(self):
+        traffic = NodeTraffic()
+        assert traffic.sent_messages == 0
+        assert traffic.total_bits == 0
+
+
+class TestRecording:
+    def test_record_send_returns_bit_cost(self):
+        collector = make_collector()
+        bits = collector.record_send(0, 1, PushMessage(candidate="0" * 12), time=0.0)
+        assert bits == PushMessage(candidate="0" * 12).bits(collector.size_model)
+
+    def test_send_counts_attributed_to_sender(self):
+        collector = make_collector()
+        collector.record_send(2, 3, Message(), time=0.0)
+        assert collector.traffic_of(2).sent_messages == 1
+        assert collector.traffic_of(3).sent_messages == 0
+
+    def test_delivery_counts_attributed_to_destination(self):
+        collector = make_collector()
+        collector.record_delivery(5, bits=9)
+        assert collector.traffic_of(5).received_messages == 1
+        assert collector.traffic_of(5).received_bits == 9
+
+    def test_unknown_node_has_zero_traffic(self):
+        collector = make_collector()
+        assert collector.traffic_of(7).total_bits == 0
+
+    def test_decision_time_first_call_wins(self):
+        collector = make_collector()
+        collector.record_decision(1, 3.0)
+        collector.record_decision(1, 9.0)
+        assert collector.summary().decision_times[1] == 3.0
+
+    def test_message_log_disabled_by_default(self):
+        collector = make_collector()
+        collector.record_send(0, 1, Message(), time=0.0)
+        assert collector.message_log == []
+
+    def test_message_log_enabled(self):
+        collector = make_collector()
+        collector.enable_message_log()
+        collector.record_send(0, 1, Message(), time=2.0)
+        assert len(collector.message_log) == 1
+        sender, dest, kind, bits, time = collector.message_log[0]
+        assert (sender, dest, time) == (0, 1, 2.0)
+
+
+class TestSummary:
+    def test_total_bits_counts_each_message_once(self):
+        collector = make_collector()
+        bits = collector.record_send(0, 1, Message(), time=0.0)
+        collector.record_delivery(1, bits)
+        summary = collector.summary()
+        assert summary.total_bits == bits
+        assert summary.total_messages == 1
+
+    def test_amortized_is_total_over_n(self):
+        collector = make_collector(n=4)
+        for _ in range(8):
+            collector.record_send(0, 1, Message(), time=0.0)
+        summary = collector.summary()
+        assert summary.amortized_bits == pytest.approx(summary.total_bits / 4)
+
+    def test_restrict_to_excludes_other_nodes_loads(self):
+        collector = make_collector(n=4)
+        big = PushMessage(candidate="0" * 100)
+        collector.record_send(3, 0, big, time=0.0)  # node 3 is "Byzantine"
+        collector.record_send(0, 1, Message(), time=0.0)
+        full = collector.summary()
+        correct_only = collector.summary(restrict_to=[0, 1, 2])
+        assert full.max_node_bits >= 100
+        assert correct_only.max_node_bits < 100
+        # totals remain system-wide in both summaries
+        assert correct_only.total_bits == full.total_bits
+
+    def test_per_node_bits_present(self):
+        collector = make_collector(n=3)
+        collector.record_send(1, 0, Message(), time=0.0)
+        summary = collector.summary()
+        assert set(summary.per_node_bits) == {0, 1, 2}
+        assert summary.per_node_bits[1] > 0
+
+    def test_load_imbalance_at_least_one_when_uniform(self):
+        collector = make_collector(n=4)
+        for node in range(4):
+            collector.record_send(node, (node + 1) % 4, Message(), time=0.0)
+        summary = collector.summary()
+        assert summary.load_imbalance == pytest.approx(1.0)
+
+    def test_rounds_and_span_pass_through(self):
+        collector = make_collector()
+        collector.record_rounds(6)
+        collector.record_span(3.5)
+        summary = collector.summary()
+        assert summary.rounds == 6
+        assert summary.span == 3.5
+
+    def test_max_decision_time(self):
+        collector = make_collector()
+        collector.record_decision(0, 1.0)
+        collector.record_decision(1, 4.0)
+        assert collector.summary().max_decision_time == 4.0
+
+    def test_max_decision_time_none_when_no_decisions(self):
+        assert make_collector().summary().max_decision_time is None
+
+    def test_row_is_flat_and_json_friendly(self):
+        collector = make_collector()
+        collector.record_rounds(3)
+        row = collector.summary().row()
+        assert row["rounds"] == 3
+        assert all(isinstance(v, (int, float)) for v in row.values())
+
+    @given(st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=40))
+    def test_hypothesis_totals_match_event_count(self, sends):
+        collector = make_collector(n=8)
+        for sender, dest in sends:
+            collector.record_send(sender, dest, Message(), time=0.0)
+        summary = collector.summary()
+        assert summary.total_messages == len(sends)
+        assert summary.total_bits == len(sends) * Message().bits(collector.size_model)

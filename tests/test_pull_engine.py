@@ -1,0 +1,355 @@
+"""Unit tests for the pull phase (repro.core.pull, Algorithms 1-3)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import pytest
+
+from repro.core.messages import (
+    AnswerMessage,
+    Fw1Message,
+    Fw2Message,
+    PollMessage,
+    PullMessage,
+)
+from repro.core.pull import PullEngine
+from repro.samplers.base import SamplerSpec
+from repro.samplers.hash_sampler import QuorumSampler
+from repro.samplers.poll_sampler import PollSampler
+
+SPEC = SamplerSpec(n=40, quorum_size=7, label_space=1600, seed=4)
+GSTRING = "110011001100"
+OTHER = "000000000000"
+
+
+class FakeOwner:
+    """Stands in for an AERNode: records sends, tracks belief and decision."""
+
+    def __init__(self, node_id: int, believed: str = GSTRING) -> None:
+        self.node_id = node_id
+        self.believed = believed
+        self.sent: List[Tuple[int, object]] = []
+        self.decision: Optional[str] = None
+        self.engine: Optional[PullEngine] = None
+        self._labels = iter(range(100, 100 + 64))
+
+    @property
+    def has_decided(self) -> bool:
+        return self.decision is not None
+
+    def send(self, dest: int, message) -> None:
+        self.sent.append((dest, message))
+
+    def decide(self, value) -> None:
+        if self.decision is None:
+            self.decision = str(value)
+            self.believed = str(value)
+            if self.engine is not None:
+                self.engine.on_decided(self.believed)
+
+    def random_label(self, label_space: int) -> int:
+        return next(self._labels) % label_space
+
+    def sent_of_type(self, message_type) -> List[Tuple[int, object]]:
+        return [(dest, msg) for dest, msg in self.sent if isinstance(msg, message_type)]
+
+
+@pytest.fixture(scope="module")
+def samplers():
+    return QuorumSampler(SPEC, name="H"), PollSampler(SPEC)
+
+
+def make_engine(samplers, node_id=0, believed=GSTRING, budget=8):
+    pull_sampler, poll_sampler = samplers
+    owner = FakeOwner(node_id, believed=believed)
+    engine = PullEngine(owner, pull_sampler, poll_sampler, answer_budget=budget)
+    owner.engine = engine
+    return owner, engine
+
+
+class TestStartPoll:
+    def test_sends_poll_to_poll_list_and_pull_to_quorum(self, samplers):
+        pull_sampler, poll_sampler = samplers
+        owner, engine = make_engine(samplers)
+        engine.start_poll(GSTRING)
+        label = engine.labels[GSTRING]
+        poll_dests = {dest for dest, _ in owner.sent_of_type(PollMessage)}
+        pull_dests = {dest for dest, _ in owner.sent_of_type(PullMessage)}
+        assert poll_dests == set(poll_sampler.poll_list(owner.node_id, label))
+        assert pull_dests == set(pull_sampler.quorum(GSTRING, owner.node_id))
+
+    def test_idempotent(self, samplers):
+        owner, engine = make_engine(samplers)
+        engine.start_poll(GSTRING)
+        first = len(owner.sent)
+        engine.start_poll(GSTRING)
+        assert len(owner.sent) == first
+
+    def test_not_started_after_decision(self, samplers):
+        owner, engine = make_engine(samplers)
+        owner.decision = GSTRING
+        engine.start_poll(OTHER)
+        assert OTHER not in engine.labels
+
+    def test_distinct_labels_per_candidate(self, samplers):
+        owner, engine = make_engine(samplers)
+        engine.start_poll(GSTRING)
+        engine.start_poll(OTHER)
+        assert engine.labels[GSTRING] != engine.labels[OTHER]
+
+    def test_polls_launched_counter(self, samplers):
+        owner, engine = make_engine(samplers)
+        assert engine.polls_launched == 0
+        engine.start_poll(GSTRING)
+        assert engine.polls_launched == 1
+
+
+class TestAnswerCounting:
+    def test_decides_on_poll_list_majority(self, samplers):
+        pull_sampler, poll_sampler = samplers
+        owner, engine = make_engine(samplers)
+        engine.start_poll(GSTRING)
+        label = engine.labels[GSTRING]
+        members = poll_sampler.poll_list(owner.node_id, label)
+        threshold = poll_sampler.majority_threshold(owner.node_id, label)
+        for member in members[:threshold]:
+            engine.on_answer(member, AnswerMessage(candidate=GSTRING))
+        assert owner.decision == GSTRING
+
+    def test_minority_does_not_decide(self, samplers):
+        _, poll_sampler = samplers
+        owner, engine = make_engine(samplers)
+        engine.start_poll(GSTRING)
+        label = engine.labels[GSTRING]
+        members = poll_sampler.poll_list(owner.node_id, label)
+        threshold = poll_sampler.majority_threshold(owner.node_id, label)
+        for member in members[: threshold - 1]:
+            engine.on_answer(member, AnswerMessage(candidate=GSTRING))
+        assert owner.decision is None
+
+    def test_duplicate_answers_counted_once(self, samplers):
+        _, poll_sampler = samplers
+        owner, engine = make_engine(samplers)
+        engine.start_poll(GSTRING)
+        label = engine.labels[GSTRING]
+        member = poll_sampler.poll_list(owner.node_id, label)[0]
+        for _ in range(20):
+            engine.on_answer(member, AnswerMessage(candidate=GSTRING))
+        assert owner.decision is None
+        assert engine.answers_for(GSTRING) == 1
+
+    def test_answers_from_outside_poll_list_ignored(self, samplers):
+        _, poll_sampler = samplers
+        owner, engine = make_engine(samplers)
+        engine.start_poll(GSTRING)
+        label = engine.labels[GSTRING]
+        members = set(poll_sampler.poll_list(owner.node_id, label))
+        outsiders = [i for i in range(SPEC.n) if i not in members]
+        for outsider in outsiders:
+            engine.on_answer(outsider, AnswerMessage(candidate=GSTRING))
+        assert owner.decision is None
+
+    def test_answers_for_unpolled_candidate_ignored(self, samplers):
+        owner, engine = make_engine(samplers)
+        engine.on_answer(1, AnswerMessage(candidate="never-polled"))
+        assert engine.answers_for("never-polled") == 0
+
+
+class TestProxyHops:
+    def _poller_setup(self, samplers, poller_id=5, label=7):
+        """Pick a proxy node that belongs to H(GSTRING, poller)."""
+        pull_sampler, poll_sampler = samplers
+        proxy_id = pull_sampler.quorum(GSTRING, poller_id)[0]
+        return poller_id, proxy_id, label
+
+    def test_on_pull_forwards_fw1_to_pull_quorums_of_poll_list(self, samplers):
+        pull_sampler, poll_sampler = samplers
+        poller, proxy, label = self._poller_setup(samplers)
+        owner, engine = make_engine(samplers, node_id=proxy, believed=GSTRING)
+        engine.on_pull(poller, PullMessage(candidate=GSTRING, label=label))
+        fw1 = owner.sent_of_type(Fw1Message)
+        expected_targets = poll_sampler.poll_list(poller, label)
+        assert fw1, "proxy should forward Fw1 messages"
+        assert {msg.target for _, msg in fw1} == set(expected_targets)
+        for dest, msg in fw1:
+            assert dest in pull_sampler.quorum(GSTRING, msg.target)
+
+    def test_on_pull_ignored_if_not_in_quorum(self, samplers):
+        pull_sampler, _ = samplers
+        poller = 5
+        not_member = next(
+            i for i in range(SPEC.n) if i not in pull_sampler.quorum(GSTRING, poller)
+        )
+        owner, engine = make_engine(samplers, node_id=not_member, believed=GSTRING)
+        engine.on_pull(poller, PullMessage(candidate=GSTRING, label=3))
+        assert owner.sent == []
+
+    def test_on_pull_deferred_when_candidate_not_believed(self, samplers):
+        poller, proxy, label = self._poller_setup(samplers)
+        owner, engine = make_engine(samplers, node_id=proxy, believed=OTHER)
+        engine.on_pull(poller, PullMessage(candidate=GSTRING, label=label))
+        assert owner.sent_of_type(Fw1Message) == []
+        # once the proxy decides GSTRING the pending pull is served
+        owner.decide(GSTRING)
+        assert owner.sent_of_type(Fw1Message) != []
+
+    def test_on_pull_served_once(self, samplers):
+        poller, proxy, label = self._poller_setup(samplers)
+        owner, engine = make_engine(samplers, node_id=proxy, believed=GSTRING)
+        message = PullMessage(candidate=GSTRING, label=label)
+        engine.on_pull(poller, message)
+        count = len(owner.sent)
+        engine.on_pull(poller, message)
+        assert len(owner.sent) == count
+
+    def test_fw1_majority_triggers_fw2(self, samplers):
+        pull_sampler, poll_sampler = samplers
+        poller, label = 5, 7
+        target = poll_sampler.poll_list(poller, label)[0]
+        me = pull_sampler.quorum(GSTRING, target)[0]
+        owner, engine = make_engine(samplers, node_id=me, believed=GSTRING)
+        origin_quorum = pull_sampler.quorum(GSTRING, poller)
+        threshold = pull_sampler.majority_threshold(GSTRING, poller)
+        message = Fw1Message(origin=poller, candidate=GSTRING, label=label, target=target)
+        for sender in origin_quorum[:threshold]:
+            engine.on_fw1(sender, message)
+        fw2 = owner.sent_of_type(Fw2Message)
+        assert len(fw2) == 1
+        assert fw2[0][0] == target
+
+    def test_fw1_below_majority_no_fw2(self, samplers):
+        pull_sampler, poll_sampler = samplers
+        poller, label = 5, 7
+        target = poll_sampler.poll_list(poller, label)[0]
+        me = pull_sampler.quorum(GSTRING, target)[0]
+        owner, engine = make_engine(samplers, node_id=me, believed=GSTRING)
+        origin_quorum = pull_sampler.quorum(GSTRING, poller)
+        threshold = pull_sampler.majority_threshold(GSTRING, poller)
+        message = Fw1Message(origin=poller, candidate=GSTRING, label=label, target=target)
+        for sender in origin_quorum[: threshold - 1]:
+            engine.on_fw1(sender, message)
+        assert owner.sent_of_type(Fw2Message) == []
+
+    def test_fw1_from_non_quorum_sender_ignored(self, samplers):
+        pull_sampler, poll_sampler = samplers
+        poller, label = 5, 7
+        target = poll_sampler.poll_list(poller, label)[0]
+        me = pull_sampler.quorum(GSTRING, target)[0]
+        owner, engine = make_engine(samplers, node_id=me, believed=GSTRING)
+        outsider = next(
+            i for i in range(SPEC.n) if i not in pull_sampler.quorum(GSTRING, poller)
+        )
+        message = Fw1Message(origin=poller, candidate=GSTRING, label=label, target=target)
+        for _ in range(10):
+            engine.on_fw1(outsider, message)
+        assert owner.sent_of_type(Fw2Message) == []
+
+    def test_fw2_forwarded_only_once(self, samplers):
+        pull_sampler, poll_sampler = samplers
+        poller, label = 5, 7
+        target = poll_sampler.poll_list(poller, label)[0]
+        me = pull_sampler.quorum(GSTRING, target)[0]
+        owner, engine = make_engine(samplers, node_id=me, believed=GSTRING)
+        origin_quorum = pull_sampler.quorum(GSTRING, poller)
+        message = Fw1Message(origin=poller, candidate=GSTRING, label=label, target=target)
+        for sender in origin_quorum:
+            engine.on_fw1(sender, message)
+        assert len(owner.sent_of_type(Fw2Message)) == 1
+
+
+class TestPollListAnswering:
+    def _answering_setup(self, samplers, budget=8, believed=GSTRING):
+        """Create an engine for a node that is on the poll list of a poller."""
+        pull_sampler, poll_sampler = samplers
+        poller, label = 9, 11
+        me = poll_sampler.poll_list(poller, label)[0]
+        owner, engine = make_engine(samplers, node_id=me, believed=believed, budget=budget)
+        quorum = pull_sampler.quorum(GSTRING, me)
+        threshold = pull_sampler.majority_threshold(GSTRING, me)
+        return owner, engine, poller, label, quorum, threshold
+
+    def test_answer_requires_poll_and_fw2_majority(self, samplers):
+        owner, engine, poller, label, quorum, threshold = self._answering_setup(samplers)
+        engine.on_poll(poller, PollMessage(candidate=GSTRING, label=label))
+        for sender in quorum[:threshold]:
+            engine.on_fw2(sender, Fw2Message(origin=poller, candidate=GSTRING, label=label))
+        answers = owner.sent_of_type(AnswerMessage)
+        assert len(answers) == 1
+        assert answers[0][0] == poller
+
+    def test_no_answer_without_poll(self, samplers):
+        owner, engine, poller, label, quorum, threshold = self._answering_setup(samplers)
+        for sender in quorum[:threshold]:
+            engine.on_fw2(sender, Fw2Message(origin=poller, candidate=GSTRING, label=label))
+        assert owner.sent_of_type(AnswerMessage) == []
+
+    def test_no_answer_without_fw2_majority(self, samplers):
+        owner, engine, poller, label, quorum, threshold = self._answering_setup(samplers)
+        engine.on_poll(poller, PollMessage(candidate=GSTRING, label=label))
+        for sender in quorum[: threshold - 1]:
+            engine.on_fw2(sender, Fw2Message(origin=poller, candidate=GSTRING, label=label))
+        assert owner.sent_of_type(AnswerMessage) == []
+
+    def test_poll_after_fw2_majority_answers_immediately(self, samplers):
+        # "Necessary in the asynchronous case": Fw2s may arrive before the Poll.
+        owner, engine, poller, label, quorum, threshold = self._answering_setup(samplers)
+        for sender in quorum[:threshold]:
+            engine.on_fw2(sender, Fw2Message(origin=poller, candidate=GSTRING, label=label))
+        assert owner.sent_of_type(AnswerMessage) == []
+        engine.on_poll(poller, PollMessage(candidate=GSTRING, label=label))
+        assert len(owner.sent_of_type(AnswerMessage)) == 1
+
+    def test_answer_sent_once(self, samplers):
+        owner, engine, poller, label, quorum, threshold = self._answering_setup(samplers)
+        engine.on_poll(poller, PollMessage(candidate=GSTRING, label=label))
+        for sender in quorum:
+            engine.on_fw2(sender, Fw2Message(origin=poller, candidate=GSTRING, label=label))
+        engine.on_poll(poller, PollMessage(candidate=GSTRING, label=label))
+        assert len(owner.sent_of_type(AnswerMessage)) == 1
+
+    def test_budget_defers_answers_until_decision(self, samplers):
+        owner, engine, poller, label, quorum, threshold = self._answering_setup(samplers, budget=0)
+        engine.on_poll(poller, PollMessage(candidate=GSTRING, label=label))
+        for sender in quorum[:threshold]:
+            engine.on_fw2(sender, Fw2Message(origin=poller, candidate=GSTRING, label=label))
+        assert owner.sent_of_type(AnswerMessage) == []  # budget exhausted (0)
+        owner.decide(GSTRING)
+        assert len(owner.sent_of_type(AnswerMessage)) == 1
+
+    def test_budget_counts_only_pre_decision_answers(self, samplers):
+        owner, engine, poller, label, quorum, threshold = self._answering_setup(samplers, budget=1)
+        engine.on_poll(poller, PollMessage(candidate=GSTRING, label=label))
+        for sender in quorum[:threshold]:
+            engine.on_fw2(sender, Fw2Message(origin=poller, candidate=GSTRING, label=label))
+        assert engine.answers_sent == 1
+
+    def test_fw2_for_unbelieved_candidate_recorded_then_answered_after_decision(self, samplers):
+        owner, engine, poller, label, quorum, threshold = self._answering_setup(
+            samplers, believed=OTHER
+        )
+        engine.on_poll(poller, PollMessage(candidate=GSTRING, label=label))
+        for sender in quorum[:threshold]:
+            engine.on_fw2(sender, Fw2Message(origin=poller, candidate=GSTRING, label=label))
+        assert owner.sent_of_type(AnswerMessage) == []
+        owner.decide(GSTRING)
+        assert len(owner.sent_of_type(AnswerMessage)) == 1
+
+    def test_fw2_from_outside_own_pull_quorum_ignored(self, samplers):
+        pull_sampler, poll_sampler = samplers
+        owner, engine, poller, label, quorum, threshold = self._answering_setup(samplers)
+        engine.on_poll(poller, PollMessage(candidate=GSTRING, label=label))
+        outsiders = [i for i in range(SPEC.n) if i not in quorum]
+        for sender in outsiders:
+            engine.on_fw2(sender, Fw2Message(origin=poller, candidate=GSTRING, label=label))
+        assert owner.sent_of_type(AnswerMessage) == []
+
+    def test_poll_for_node_not_on_list_ignored(self, samplers):
+        _, poll_sampler = samplers
+        poller, label = 9, 11
+        not_member = next(
+            i for i in range(SPEC.n) if i not in poll_sampler.poll_list(poller, label)
+        )
+        owner, engine = make_engine(samplers, node_id=not_member)
+        engine.on_poll(poller, PollMessage(candidate=GSTRING, label=label))
+        assert (poller, GSTRING) not in engine._polled

@@ -1,0 +1,137 @@
+"""Unit tests for the push phase (repro.core.push)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.push import PushEngine
+from repro.samplers.base import SamplerSpec
+from repro.samplers.hash_sampler import QuorumSampler
+
+SPEC = SamplerSpec(n=40, quorum_size=7, label_space=1600, seed=2)
+
+
+@pytest.fixture(scope="module")
+def push_sampler():
+    return QuorumSampler(SPEC, name="I")
+
+
+def make_engine(push_sampler, node_id=3, candidate="1010"):
+    return PushEngine(node_id=node_id, push_sampler=push_sampler, initial_candidate=candidate)
+
+
+class TestTargets:
+    def test_targets_match_inverse(self, push_sampler):
+        engine = make_engine(push_sampler)
+        assert engine.push_targets() == push_sampler.inverse("1010", 3)
+
+    def test_target_quorums_contain_sender(self, push_sampler):
+        engine = make_engine(push_sampler, node_id=8, candidate="1111")
+        for target in engine.push_targets():
+            assert 8 in push_sampler.quorum("1111", target)
+
+    def test_target_count_is_moderate(self, push_sampler):
+        # Lemma 3: no node is overloaded, so the number of targets is O(d).
+        engine = make_engine(push_sampler)
+        assert len(engine.push_targets()) <= 4 * SPEC.quorum_size
+
+
+class TestAcceptance:
+    def test_own_candidate_always_present(self, push_sampler):
+        engine = make_engine(push_sampler, candidate="mine")
+        assert "mine" in engine.candidates
+
+    def test_push_from_outside_quorum_ignored(self, push_sampler):
+        engine = make_engine(push_sampler, node_id=0)
+        quorum = push_sampler.quorum("s", 0)
+        outsider = next(i for i in range(SPEC.n) if i not in quorum)
+        assert engine.receive_push(outsider, "s") is None
+        assert engine.ignored_pushes == 1
+        assert "s" not in engine.candidates
+
+    def test_minority_does_not_accept(self, push_sampler):
+        engine = make_engine(push_sampler, node_id=0)
+        quorum = push_sampler.quorum("s", 0)
+        below = (len(quorum) // 2 + 1) - 1
+        for sender in quorum[:below]:
+            assert engine.receive_push(sender, "s") is None
+        assert "s" not in engine.candidates
+
+    def test_majority_accepts_and_returns_candidate(self, push_sampler):
+        engine = make_engine(push_sampler, node_id=0)
+        quorum = push_sampler.quorum("s", 0)
+        needed = len(quorum) // 2 + 1
+        results = [engine.receive_push(sender, "s") for sender in quorum[:needed]]
+        assert results[-1] == "s"
+        assert all(r is None for r in results[:-1])
+        assert "s" in engine.candidates
+
+    def test_duplicate_votes_do_not_count_twice(self, push_sampler):
+        engine = make_engine(push_sampler, node_id=0)
+        quorum = push_sampler.quorum("s", 0)
+        voter = quorum[0]
+        for _ in range(10):
+            assert engine.receive_push(voter, "s") is None
+        assert "s" not in engine.candidates
+
+    def test_already_accepted_string_returns_none(self, push_sampler):
+        engine = make_engine(push_sampler, node_id=0, candidate="s")
+        quorum = push_sampler.quorum("s", 0)
+        assert engine.receive_push(quorum[0], "s") is None
+
+    def test_accepting_one_string_does_not_affect_another(self, push_sampler):
+        engine = make_engine(push_sampler, node_id=0)
+        q1 = push_sampler.quorum("s1", 0)
+        for sender in q1[: len(q1) // 2 + 1]:
+            engine.receive_push(sender, "s1")
+        assert "s1" in engine.candidates
+        assert "s2" not in engine.candidates
+
+    def test_candidate_list_size(self, push_sampler):
+        engine = make_engine(push_sampler, node_id=0, candidate="own")
+        assert engine.candidate_list_size == 1
+        quorum = push_sampler.quorum("x", 0)
+        for sender in quorum[: len(quorum) // 2 + 1]:
+            engine.receive_push(sender, "x")
+        assert engine.candidate_list_size == 2
+
+    def test_tracked_strings_listed_and_cleared_on_accept(self, push_sampler):
+        engine = make_engine(push_sampler, node_id=0)
+        quorum = push_sampler.quorum("t", 0)
+        engine.receive_push(quorum[0], "t")
+        assert engine.tracked_strings() == ["t"]
+        for sender in quorum[1 : len(quorum) // 2 + 1]:
+            engine.receive_push(sender, "t")
+        assert engine.tracked_strings() == []
+
+    def test_tracking_cap_limits_memory(self, push_sampler):
+        engine = PushEngine(0, push_sampler, "own", max_tracked_strings=2)
+        strings = []
+        # find strings whose quorum at node 0 contains node 1 (so votes register)
+        candidate = 0
+        while len(strings) < 4:
+            s = f"junk-{candidate}"
+            candidate += 1
+            if 1 in push_sampler.quorum(s, 0):
+                strings.append(s)
+        for s in strings:
+            engine.receive_push(1, s)
+        assert len(engine.tracked_strings()) <= 2
+
+    @given(st.integers(min_value=0, max_value=39), st.text(alphabet="01", min_size=1, max_size=16))
+    @settings(max_examples=25, deadline=None)
+    def test_hypothesis_acceptance_requires_majority(self, node_id, candidate):
+        sampler = QuorumSampler(SPEC, name="I")
+        engine = PushEngine(node_id=node_id, push_sampler=sampler, initial_candidate="own")
+        quorum = sampler.quorum(candidate, node_id)
+        threshold = len(quorum) // 2 + 1
+        accepted_at = None
+        for index, sender in enumerate(quorum, start=1):
+            if engine.receive_push(sender, candidate) is not None:
+                accepted_at = index
+                break
+        if candidate == "own":
+            assert accepted_at is None
+        else:
+            assert accepted_at == threshold
