@@ -6,6 +6,9 @@ benign random-delay network, and report the normalized completion time and
 the total messages per node.  Shape assertions: the span grows far slower
 than ``n`` and stays within a small constant of the ``log n / log log n``
 reference; messages per node grow sub-linearly.
+
+The sweep runs as an :class:`repro.experiments.ExperimentPlan` on the
+parallel sweep subsystem (one worker per grid point).
 """
 
 from __future__ import annotations
@@ -15,31 +18,39 @@ import math
 import pytest
 
 from repro.analysis.complexity import growth_exponent
+from repro.experiments import ExperimentPlan
 from repro.runner import run_aer_experiment
 
 SIZES = [32, 64, 96]
 SEED = 8
 
+PLAN = ExperimentPlan(
+    ns=tuple(SIZES),
+    adversaries=("slow_knowledgeable",),
+    modes=("async",),
+    seeds=(SEED,),
+    label="lemma10",
+)
+
 
 @pytest.fixture(scope="module")
-def lemma10_rows():
+def lemma10_rows(run_plan):
+    sweep = run_plan(PLAN)
     rows = []
     spans, messages = [], []
-    for n in SIZES:
-        result = run_aer_experiment(
-            n=n, adversary_name="slow_knowledgeable", mode="async", seed=SEED
-        )
+    for record in sweep.records:
+        n = record.spec.n
         reference = math.log2(n) / math.log2(math.log2(n))
         rows.append({
             "n": n,
-            "span_normalized": round(result.span or -1, 2),
+            "span_normalized": round(record.span if record.span is not None else -1, 2),
             "log_over_loglog": round(reference, 2),
-            "messages_per_node": round(result.metrics.total_messages / n, 1),
-            "agreement": int(result.agreement_reached),
-            "decided_fraction": round(len(result.decisions) / len(result.correct_ids), 3),
+            "messages_per_node": round(record.total_messages / n, 1),
+            "agreement": int(record.agreement),
+            "decided_fraction": round(record.decided_fraction, 3),
         })
-        spans.append(result.span or 0.0)
-        messages.append(result.metrics.total_messages / n)
+        spans.append(record.span or 0.0)
+        messages.append(record.total_messages / n)
     return rows, spans, messages
 
 

@@ -9,6 +9,9 @@ answers) and report the round count, the latest per-node decision round and
 the total number of messages divided by ``n``.  The shape assertions are that
 the round count does not grow with ``n`` and that messages per node grow only
 poly-logarithmically (sub-linearly over the measured range).
+
+The sweep runs as an :class:`repro.experiments.ExperimentPlan` on the
+parallel sweep subsystem (one worker per grid point).
 """
 
 from __future__ import annotations
@@ -16,29 +19,39 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.complexity import growth_exponent
+from repro.experiments import ExperimentPlan
 from repro.runner import run_aer_experiment
 
 SIZES = [32, 64, 128, 192]
 SEED = 7
 
+PLAN = ExperimentPlan(
+    ns=tuple(SIZES),
+    adversaries=("wrong_answer",),
+    modes=("sync",),
+    seeds=(SEED,),
+    label="lemma8",
+)
+
 
 @pytest.fixture(scope="module")
-def lemma8_rows():
+def lemma8_rows(run_plan):
+    sweep = run_plan(PLAN)
     rows = []
     rounds_series, messages_series = [], []
-    for n in SIZES:
-        result = run_aer_experiment(n=n, adversary_name="wrong_answer", rushing=False, seed=SEED)
-        decision_rounds = result.metrics.decision_times.values()
+    for record in sweep.records:
         rows.append({
-            "n": n,
-            "rounds": result.rounds,
-            "latest_decision_round": max(decision_rounds) if decision_rounds else -1,
-            "messages_per_node": round(result.metrics.total_messages / n, 1),
-            "agreement": int(result.agreement_reached),
-            "decided_fraction": round(len(result.decisions) / len(result.correct_ids), 4),
+            "n": record.spec.n,
+            "rounds": record.rounds,
+            "latest_decision_round": (
+                record.max_decision_time if record.max_decision_time is not None else -1
+            ),
+            "messages_per_node": round(record.total_messages / record.spec.n, 1),
+            "agreement": int(record.agreement),
+            "decided_fraction": round(record.decided_fraction, 4),
         })
-        rounds_series.append(result.rounds or 0)
-        messages_series.append(result.metrics.total_messages / n)
+        rounds_series.append(record.rounds or 0)
+        messages_series.append(record.total_messages / record.spec.n)
     return rows, rounds_series, messages_series
 
 

@@ -12,15 +12,23 @@ same:
   numbers;
 * the formatted table is appended to ``benchmarks/results/`` and echoed to
   stdout so it can be pasted into EXPERIMENTS.md.
+
+Grid-shaped benchmarks (one run per point of an ``n × adversary × mode ×
+seed`` grid) declare an :class:`repro.experiments.ExperimentPlan` and run it
+through the ``run_plan`` fixture, which fans the grid across worker
+processes via :class:`repro.experiments.SweepRunner` — set ``BENCH_JOBS=1``
+to force serial execution (e.g. when profiling a benchmark).
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 from repro.analysis.experiments import format_table
+from repro.experiments import ExperimentPlan, SweepResult, SweepRunner
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -30,6 +38,23 @@ def results_dir() -> pathlib.Path:
     """Directory collecting the printed tables of every benchmark run."""
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def run_plan():
+    """Return a helper running an :class:`ExperimentPlan` on the sweep subsystem.
+
+    ``BENCH_JOBS`` (env) pins the worker count; the default lets the runner
+    pick ``min(cpu_count, len(plan))``.
+    """
+
+    def _run(plan: ExperimentPlan, jobs=None) -> SweepResult:
+        if jobs is None:
+            env_jobs = int(os.environ.get("BENCH_JOBS", "0"))
+            jobs = env_jobs or None
+        return SweepRunner(plan, jobs=jobs).run()
+
+    return _run
 
 
 @pytest.fixture(scope="session")

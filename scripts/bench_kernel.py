@@ -1,0 +1,23 @@
+"""Run the fixed kernel benchmark sweep and write BENCH_kernel.json.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python scripts/bench_kernel.py [OUT.json]
+
+Equivalent to ``python -m repro bench``.  The fixed sweep and the recorded
+seed-engine baseline live in :mod:`repro.experiments.bench`; keep both
+stable so the numbers stay comparable across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.experiments.bench import write_report
+
+if __name__ == "__main__":
+    out = sys.argv[1] if len(sys.argv) > 1 else "BENCH_kernel.json"
+    report = write_report(out)
+    print(json.dumps(report, indent=1))
+    print(f"report written to {out}")

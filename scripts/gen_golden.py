@@ -1,0 +1,72 @@
+"""Generate the golden-seed engine-equivalence fixture.
+
+The fixture (``tests/golden/engine_golden.json``) pins the externally visible
+outcome of the simulation engine — decisions, rounds/span, bit metrics — for a
+matrix of (mode, adversary, n, seed) cases.  ``tests/test_engine_golden.py``
+asserts the current engine reproduces these values exactly, which is what makes
+engine refactors provably behavior-preserving.
+
+The committed fixture was produced by the pre-kernel seed engine (PR 1); only
+regenerate it when an *intentional* behaviour change is made, and say so in the
+commit message:
+
+    PYTHONPATH=src python scripts/gen_golden.py tests/golden/engine_golden.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.runner import run_aer_experiment
+
+#: (mode, rushing, adversary, n, seed) matrix pinned by the fixture
+GOLDEN_MATRIX = [
+    ("sync", False, "none", 24, 3),
+    ("sync", False, "none", 40, 5),
+    ("sync", False, "silent", 24, 3),
+    ("sync", False, "equivocate", 24, 3),
+    ("sync", False, "wrong_answer", 40, 5),
+    ("sync", True, "equivocate", 24, 3),
+    ("async", False, "none", 24, 3),
+    ("async", False, "silent", 40, 5),
+    ("async", False, "equivocate", 24, 3),
+    ("async", False, "slow_knowledgeable", 24, 3),
+]
+
+
+def case_key(mode: str, rushing: bool, adversary: str, n: int, seed: int) -> str:
+    return f"{mode}{'-rushing' if rushing else ''}:{adversary}:n{n}:s{seed}"
+
+
+def run_case(mode: str, rushing: bool, adversary: str, n: int, seed: int) -> dict:
+    result = run_aer_experiment(
+        n, adversary_name=adversary, mode=mode, rushing=rushing, seed=seed
+    )
+    return {
+        "decisions": {str(i): v for i, v in sorted(result.decisions.items())},
+        "rounds": result.rounds,
+        "span": result.span,
+        "total_messages": result.metrics_all.total_messages,
+        "total_bits": result.metrics_all.total_bits,
+        "max_node_bits": result.metrics.max_node_bits,
+        "per_node_bits": {
+            str(i): b for i, b in sorted(result.metrics.per_node_bits.items())
+        },
+        "decision_times": {
+            str(i): t for i, t in sorted(result.metrics.decision_times.items())
+        },
+    }
+
+
+def main(out_path: str) -> None:
+    golden = {
+        case_key(*case): run_case(*case) for case in GOLDEN_MATRIX
+    }
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(golden, fh, indent=1, sort_keys=True)
+    print(f"wrote {len(golden)} golden cases to {out_path}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "tests/golden/engine_golden.json")

@@ -1,0 +1,26 @@
+"""Measure wall-clock of the fixed benchmark sweep (raw, no baseline compare).
+
+Run from the repo root with ``PYTHONPATH=src python scripts/record_baseline.py OUT.json``.
+This is the tool that produced the seed-engine baseline embedded in
+:mod:`repro.experiments.bench` (``SEED_BASELINE_SECONDS``); re-run it when
+resetting the baseline on a new reference machine.  For the comparison
+report, use ``python -m repro bench`` / ``scripts/bench_kernel.py`` instead.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.experiments.bench import run_fixed_sweep
+
+if __name__ == "__main__":
+    out = sys.argv[1] if len(sys.argv) > 1 else "baseline.json"
+    cases = run_fixed_sweep()
+    payload = {
+        "cases": cases,
+        "total_seconds": round(sum(float(c["seconds"]) for c in cases), 3),
+    }
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+    print(json.dumps(payload, indent=2))

@@ -74,6 +74,17 @@ class AERNode(Node):
             poll_sampler=samplers.poll,
             answer_budget=config.answer_budget,
         )
+        # Exact-type dispatch table for the hot message loop; unknown types
+        # fall back to the isinstance chain (and are ultimately ignored).
+        pull = self.pull_engine
+        self._handlers = {
+            PushMessage: self._on_push,
+            PullMessage: pull.on_pull,
+            PollMessage: pull.on_poll,
+            Fw1Message: pull.on_fw1,
+            Fw2Message: pull.on_fw2,
+            AnswerMessage: pull.on_answer,
+        }
 
     # ------------------------------------------------------------------
     # PullOwner interface
@@ -100,8 +111,7 @@ class AERNode(Node):
     def on_start(self) -> None:
         """Send the push-phase messages and (eagerly) start verifying ``s_x``."""
         push = PushMessage(candidate=self.initial_candidate)
-        for target in self.push_engine.push_targets():
-            self.send(target, push)
+        self.send_many(self.push_engine.push_targets(), push)
         if self.config.eager_pull:
             self._pull_phase_started = True
             self.pull_engine.start_poll(self.initial_candidate)
@@ -115,23 +125,23 @@ class AERNode(Node):
             for candidate in sorted(self.push_engine.candidates):
                 self.pull_engine.start_poll(candidate)
 
+    def _on_push(self, sender: int, message: PushMessage) -> None:
+        accepted = self.push_engine.receive_push(sender, message.candidate)
+        if accepted is not None and self._pull_phase_started:
+            self.pull_engine.start_poll(accepted)
+
     def on_message(self, sender: int, message: Message) -> None:
-        """Dispatch to the phase engines by message type."""
-        if isinstance(message, PushMessage):
-            accepted = self.push_engine.receive_push(sender, message.candidate)
-            if accepted is not None and self._pull_phase_started:
-                self.pull_engine.start_poll(accepted)
-        elif isinstance(message, PullMessage):
-            self.pull_engine.on_pull(sender, message)
-        elif isinstance(message, PollMessage):
-            self.pull_engine.on_poll(sender, message)
-        elif isinstance(message, Fw1Message):
-            self.pull_engine.on_fw1(sender, message)
-        elif isinstance(message, Fw2Message):
-            self.pull_engine.on_fw2(sender, message)
-        elif isinstance(message, AnswerMessage):
-            self.pull_engine.on_answer(sender, message)
-        # unknown message kinds (e.g. junk injected by the adversary) are ignored
+        """Dispatch to the phase engines by (exact) message type."""
+        handler = self._handlers.get(type(message))
+        if handler is not None:
+            handler(sender, message)
+            return
+        # Subclassed protocol messages still reach their handler; anything
+        # else (e.g. junk injected by the adversary) is ignored.
+        for message_type, fallback in self._handlers.items():
+            if isinstance(message, message_type):
+                fallback(sender, message)
+                return
 
     # ------------------------------------------------------------------
     # introspection

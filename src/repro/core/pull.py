@@ -61,6 +61,9 @@ class PullOwner(Protocol):
     def send(self, dest: int, message) -> None:
         """Send a message over the authenticated channel."""
 
+    def send_many(self, dests, message) -> None:
+        """Send the same message to every node in ``dests`` (batched multicast)."""
+
     def decide(self, value: object) -> None:
         """Irrevocably decide on ``value``."""
 
@@ -82,6 +85,15 @@ class PullEngine:
         self.pull_sampler = pull_sampler
         self.poll_sampler = poll_sampler
         self.answer_budget = answer_budget
+        # Shared across every engine bound to this sampler suite: the sender
+        # and poll-list membership checks of an Fw1 message are pure functions
+        # of the message and its sender, so the d recipients of one multicast
+        # memoise the verdict once instead of recomputing it d times.  Keyed
+        # by object identity (with a strong reference, so ids cannot be
+        # recycled) plus the authenticated sender.
+        self._fw1_shared_check = pull_sampler.shared_scratch.setdefault(
+            "fw1_precheck", [None, -1, False]
+        )
 
         # ---- poller state (Algorithm 1) ------------------------------------
         #: candidates for which a poll has been launched, with their labels
@@ -127,11 +139,9 @@ class PullEngine:
         self._answers.setdefault(candidate, set())
 
         poll = PollMessage(candidate=candidate, label=label)
-        for member in self.poll_sampler.poll_list(self.owner.node_id, label):
-            self.owner.send(member, poll)
+        self.owner.send_many(self.poll_sampler.poll_list(self.owner.node_id, label), poll)
         pull = PullMessage(candidate=candidate, label=label)
-        for member in self.pull_sampler.quorum(candidate, self.owner.node_id):
-            self.owner.send(member, pull)
+        self.owner.send_many(self.pull_sampler.quorum(candidate, self.owner.node_id), pull)
 
     def on_answer(self, sender: int, message: AnswerMessage) -> None:
         """Count an ``Answer`` towards the decision threshold (Algorithm 1)."""
@@ -139,14 +149,14 @@ class PullEngine:
         label = self.labels.get(candidate)
         if label is None or self.owner.has_decided:
             return
-        poll_list = self.poll_sampler.poll_list(self.owner.node_id, label)
-        if sender not in poll_list:
+        poll_entry = self.poll_sampler.entry(self.owner.node_id, label)
+        if sender not in poll_entry.member_set:
             return
         answers = self._answers.setdefault(candidate, set())
         if sender in answers:
             return  # each poll-list member is counted at most once
         answers.add(sender)
-        if len(answers) >= self.poll_sampler.majority_threshold(self.owner.node_id, label):
+        if len(answers) >= poll_entry.threshold:
             self.owner.decide(candidate)
 
     # ------------------------------------------------------------------
@@ -158,7 +168,7 @@ class PullEngine:
         key = (sender, candidate, label)
         if key in self._served_pulls:
             return  # each pull request is served at most once (anti-flooding)
-        if self.owner.node_id not in self.pull_sampler.quorum(candidate, sender):
+        if not self.pull_sampler.contains(candidate, sender, self.owner.node_id):
             return
         if candidate != self.owner.believed:
             # Remember the request; if we later come to believe this candidate
@@ -172,37 +182,58 @@ class PullEngine:
         if key in self._served_pulls:
             return
         self._served_pulls.add(key)
+        pull_table = self.pull_sampler.table(candidate)
         for target in self.poll_sampler.poll_list(origin, label):
             fw1 = Fw1Message(origin=origin, candidate=candidate, label=label, target=target)
-            for member in self.pull_sampler.quorum(candidate, target):
-                self.owner.send(member, fw1)
+            self.owner.send_many(pull_table.quorum(target), fw1)
 
     def on_fw1(self, sender: int, message: Fw1Message) -> None:
         """First forwarding hop reached us (as a member of ``H(s, w)``)."""
         origin, candidate = message.origin, message.candidate
         label, target = message.label, message.target
-        if self.owner.node_id not in self.pull_sampler.quorum(candidate, target):
+        pull_table = self.pull_sampler.table(candidate)
+        if not pull_table.contains(target, self.owner.node_id):
             return
-        if sender not in self.pull_sampler.quorum(candidate, origin):
-            return
-        if target not in self.poll_sampler.poll_list(origin, label):
-            return
+        # Sender/poll-list legitimacy is receiver-independent; consult the
+        # multicast-wide memo before recomputing (see __init__).
+        shared = self._fw1_shared_check
+        if shared[0] is message and shared[1] == sender:
+            if not shared[2]:
+                return
+        else:
+            legitimate = pull_table.contains(origin, sender) and self.poll_sampler.contains(
+                origin, label, target
+            )
+            shared[0] = message
+            shared[1] = sender
+            shared[2] = legitimate
+            if not legitimate:
+                return
 
         key = (origin, candidate, target)
-        votes = self._fw1_votes.setdefault(key, set())
+        votes = self._fw1_votes.get(key)
+        if votes is None:
+            votes = set()
+            self._fw1_votes[key] = votes
         votes.add(sender)
         self._fw1_labels[key] = label
         if candidate != self.owner.believed:
             return  # evidence recorded; acted upon if we ever believe the candidate
-        self._maybe_forward_fw2(origin, candidate, target)
+        self._maybe_forward_fw2(origin, candidate, target, pull_table, votes)
 
-    def _maybe_forward_fw2(self, origin: int, candidate: str, target: int) -> None:
+    def _maybe_forward_fw2(
+        self, origin: int, candidate: str, target: int, pull_table=None, votes=None
+    ) -> None:
         key = (origin, candidate, target)
         if key in self._fw2_sent:
             return
-        votes = self._fw1_votes.get(key, set())
-        threshold = self.pull_sampler.majority_threshold(candidate, origin)
-        if len(votes) >= threshold:
+        if votes is None:
+            votes = self._fw1_votes.get(key)
+            if votes is None:
+                return  # no Fw1 evidence recorded for this key yet
+        if pull_table is None:
+            pull_table = self.pull_sampler.table(candidate)
+        if len(votes) >= pull_table.threshold(origin):
             label = self._fw1_labels[key]
             self._fw2_sent.add(key)
             self.owner.send(
@@ -215,9 +246,9 @@ class PullEngine:
     def on_fw2(self, sender: int, message: Fw2Message) -> None:
         """Second forwarding hop reached us (as a member of ``J(origin, label)``)."""
         origin, candidate, label = message.origin, message.candidate, message.label
-        if self.owner.node_id not in self.poll_sampler.poll_list(origin, label):
+        if not self.poll_sampler.contains(origin, label, self.owner.node_id):
             return
-        if sender not in self.pull_sampler.quorum(candidate, self.owner.node_id):
+        if not self.pull_sampler.contains(candidate, self.owner.node_id, sender):
             return
 
         key = (origin, candidate)
@@ -231,7 +262,7 @@ class PullEngine:
     def on_poll(self, sender: int, message: PollMessage) -> None:
         """The poller itself asked us directly (the ``Poll`` branch of Algorithm 3)."""
         candidate, label = message.candidate, message.label
-        if self.owner.node_id not in self.poll_sampler.poll_list(sender, label):
+        if not self.poll_sampler.contains(sender, label, self.owner.node_id):
             return
         key = (sender, candidate)
         self._polled[key] = label
@@ -244,7 +275,7 @@ class PullEngine:
         if key in self._answered or key not in self._polled:
             return
         votes = self._fw2_votes.get(key, set())
-        threshold = self.pull_sampler.majority_threshold(candidate, self.owner.node_id)
+        threshold = self.pull_sampler.table(candidate).threshold(self.owner.node_id)
         if len(votes) < threshold:
             return
         if not self.owner.has_decided and self.answers_sent >= self.answer_budget:

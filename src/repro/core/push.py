@@ -84,8 +84,8 @@ class PushEngine:
         """
         if candidate in self.candidates:
             return None
-        quorum = self.push_sampler.quorum(candidate, self.node_id)
-        if sender not in quorum:
+        table = self.push_sampler.table(candidate)
+        if not table.contains(self.node_id, sender):
             # The filter of Section 3.1.1: pushes from outside I(s, x) are ignored.
             self.ignored_pushes += 1
             return None
@@ -99,7 +99,7 @@ class PushEngine:
             self._votes[candidate] = votes
         votes.add(sender)
 
-        if len(votes) >= self.push_sampler.majority_threshold(candidate, self.node_id):
+        if len(votes) >= table.threshold(self.node_id):
             self.candidates.add(candidate)
             del self._votes[candidate]
             return candidate

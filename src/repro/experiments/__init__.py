@@ -1,0 +1,32 @@
+"""Experiment orchestration: plans, parallel sweeps, persisted results.
+
+This package is the fourth layer of the architecture (samplers → protocol →
+event kernel → orchestration; see ARCHITECTURE.md): it turns single
+simulation runs into first-class *experiments* —
+
+* :class:`~repro.experiments.plan.ExperimentSpec` — one fully described run
+  (n, adversary, mode, seed, scenario knobs), picklable and JSON-round-trippable;
+* :class:`~repro.experiments.plan.ExperimentPlan` — a grid of specs
+  (n × adversary × mode × seed);
+* :class:`~repro.experiments.sweep.SweepRunner` — fans a plan's specs across
+  ``multiprocessing`` workers, collects per-run records (metrics + wall
+  clock) and persists them as JSON (the format behind ``BENCH_*.json``);
+* the ``python -m repro`` CLI (:mod:`repro.experiments.cli`).
+"""
+
+from repro.experiments.plan import ExperimentPlan, ExperimentSpec
+from repro.experiments.sweep import (
+    ExperimentRecord,
+    SweepResult,
+    SweepRunner,
+    execute_spec,
+)
+
+__all__ = [
+    "ExperimentPlan",
+    "ExperimentSpec",
+    "ExperimentRecord",
+    "SweepResult",
+    "SweepRunner",
+    "execute_spec",
+]

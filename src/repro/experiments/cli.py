@@ -1,0 +1,137 @@
+"""``python -m repro`` — run single experiments, grid sweeps and benchmarks.
+
+Subcommands
+-----------
+
+``run``
+    One experiment: ``python -m repro run --n 64 --adversary silent --mode async``.
+``sweep``
+    A grid across multiprocessing workers, optionally persisted as JSON::
+
+        python -m repro sweep --ns 32,64,128 --adversaries none,silent \\
+            --modes sync,async --seeds 0,1,2 --jobs 4 --out sweep.json
+``bench``
+    The fixed kernel benchmark sweep; writes ``BENCH_kernel.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.experiments import format_table, result_row
+from repro.experiments.bench import write_report
+from repro.experiments.plan import ExperimentPlan, ExperimentSpec
+from repro.experiments.sweep import run_sweep
+
+
+def _csv_ints(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part]
+
+
+def _csv_strs(text: str) -> List[str]:
+    return [part for part in text.split(",") if part]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="AER simulation experiments (Braud-Santoni, Guerraoui, Huc — PODC'13)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one experiment and print its summary")
+    run.add_argument("--n", type=int, required=True, help="system size")
+    run.add_argument("--adversary", default="none", help="registered adversary name")
+    run.add_argument("--mode", default="sync", choices=["sync", "async"])
+    run.add_argument("--rushing", action="store_true", help="rushing sync adversary")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--knowledge-fraction", type=float, default=0.78)
+    run.add_argument("--quorum-multiplier", type=float, default=2.0)
+
+    sweep = sub.add_parser("sweep", help="run a grid of experiments in parallel")
+    sweep.add_argument("--ns", type=_csv_ints, required=True, help="e.g. 32,64,128")
+    sweep.add_argument("--adversaries", type=_csv_strs, default=["none"])
+    sweep.add_argument("--modes", type=_csv_strs, default=["sync"])
+    sweep.add_argument("--seeds", type=_csv_ints, default=[0])
+    sweep.add_argument("--rushing", action="store_true")
+    sweep.add_argument("--knowledge-fraction", type=float, default=0.78)
+    sweep.add_argument("--quorum-multiplier", type=float, default=2.0)
+    sweep.add_argument("--jobs", type=int, default=None, help="worker processes")
+    sweep.add_argument("--out", default=None, help="persist records as JSON here")
+
+    bench = sub.add_parser("bench", help="fixed kernel benchmark; writes BENCH_kernel.json")
+    bench.add_argument("--out", default="BENCH_kernel.json")
+
+    return parser
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    spec = ExperimentSpec(
+        n=args.n,
+        adversary=args.adversary,
+        mode=args.mode,
+        rushing=args.rushing,
+        seed=args.seed,
+        knowledge_fraction=args.knowledge_fraction,
+        quorum_multiplier=args.quorum_multiplier,
+    )
+    try:
+        result = spec.run()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_table([result_row(result)], title=f"experiment {spec.key}"))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    if not args.ns:
+        print("error: --ns must name at least one system size", file=sys.stderr)
+        return 2
+    plan = ExperimentPlan(
+        ns=tuple(args.ns),
+        adversaries=tuple(args.adversaries),
+        modes=tuple(args.modes),
+        seeds=tuple(args.seeds),
+        rushing=args.rushing,
+        knowledge_fraction=args.knowledge_fraction,
+        quorum_multiplier=args.quorum_multiplier,
+    )
+    try:
+        result = run_sweep(plan, jobs=args.jobs, out=args.out)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    title = (
+        f"sweep of {len(result.records)} experiments "
+        f"({result.jobs} workers, {result.total_seconds:.1f}s)"
+    )
+    print(format_table(result.rows(), title=title))
+    if args.out:
+        print(f"records written to {args.out}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    report = write_report(args.out)
+    print(json.dumps(report, indent=1))
+    print(f"report written to {args.out}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "sweep":
+        return cmd_sweep(args)
+    if args.command == "bench":
+        return cmd_bench(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

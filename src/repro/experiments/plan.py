@@ -1,0 +1,147 @@
+"""Experiment specifications and grid plans.
+
+An :class:`ExperimentSpec` pins *everything* a run depends on — the scenario
+knobs and the scheduler — so a spec is a pure function from itself to a
+:class:`~repro.net.results.SimulationResult`.  Specs are frozen dataclasses:
+picklable (for multiprocessing workers) and JSON-round-trippable (for
+persisted sweep results).
+
+An :class:`ExperimentPlan` is the cartesian grid the sweep subsystem runs:
+``ns × adversaries × modes × seeds`` with shared scenario knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.results import SimulationResult
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One fully described AER experiment run.
+
+    The fields mirror :func:`repro.runner.run_aer_experiment`; ``label`` is a
+    free-form tag carried through to records (useful to mark series in a
+    benchmark table).
+    """
+
+    n: int
+    adversary: str = "none"
+    mode: str = "sync"
+    rushing: bool = False
+    seed: int = 0
+    t: Optional[int] = None
+    knowledge_fraction: float = 0.78
+    wrong_candidate_mode: str = "random"
+    quorum_multiplier: float = 2.0
+    label: str = ""
+
+    @property
+    def key(self) -> str:
+        """Compact unique-ish identifier used in logs and result files."""
+        rushing = "-rushing" if self.rushing else ""
+        return f"{self.mode}{rushing}:{self.adversary}:n{self.n}:s{self.seed}"
+
+    def run(self) -> SimulationResult:
+        """Execute this spec and return the simulation result."""
+        from repro.runner import run_aer_experiment
+
+        return run_aer_experiment(
+            n=self.n,
+            adversary_name=self.adversary,
+            mode=self.mode,
+            rushing=self.rushing,
+            seed=self.seed,
+            t=self.t,
+            knowledge_fraction=self.knowledge_fraction,
+            wrong_candidate_mode=self.wrong_candidate_mode,
+            quorum_multiplier=self.quorum_multiplier,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "ExperimentSpec":
+        return ExperimentSpec(**data)  # type: ignore[arg-type]
+
+    def with_(self, **changes) -> "ExperimentSpec":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class ExperimentPlan:
+    """A grid of experiment specs: ``ns × adversaries × modes × seeds``.
+
+    Expansion order is deterministic (n-major, then adversary, mode, seed),
+    so record lists line up across runs of the same plan.
+    """
+
+    ns: Tuple[int, ...]
+    adversaries: Tuple[str, ...] = ("none",)
+    modes: Tuple[str, ...] = ("sync",)
+    seeds: Tuple[int, ...] = (0,)
+    rushing: bool = False
+    t: Optional[int] = None
+    knowledge_fraction: float = 0.78
+    wrong_candidate_mode: str = "random"
+    quorum_multiplier: float = 2.0
+    label: str = ""
+    #: explicit extra specs appended after the grid (escape hatch for
+    #: irregular sweeps that still want the runner/persistence machinery)
+    extra_specs: Tuple[ExperimentSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        # Accept lists/generators for convenience, store tuples (hashability).
+        for name in ("ns", "adversaries", "modes", "seeds", "extra_specs"):
+            value = getattr(self, name)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+
+    def specs(self) -> List[ExperimentSpec]:
+        """Expand the grid into the ordered list of specs to run."""
+        grid = [
+            ExperimentSpec(
+                n=n,
+                adversary=adversary,
+                mode=mode,
+                rushing=self.rushing,
+                seed=seed,
+                t=self.t,
+                knowledge_fraction=self.knowledge_fraction,
+                wrong_candidate_mode=self.wrong_candidate_mode,
+                quorum_multiplier=self.quorum_multiplier,
+                label=self.label,
+            )
+            for n in self.ns
+            for adversary in self.adversaries
+            for mode in self.modes
+            for seed in self.seeds
+        ]
+        grid.extend(self.extra_specs)
+        return grid
+
+    def __len__(self) -> int:
+        return (
+            len(self.ns) * len(self.adversaries) * len(self.modes) * len(self.seeds)
+            + len(self.extra_specs)
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        data = asdict(self)
+        data["extra_specs"] = [spec.to_dict() for spec in self.extra_specs]
+        return data
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "ExperimentPlan":
+        data = dict(data)
+        data["extra_specs"] = tuple(
+            ExperimentSpec.from_dict(spec) for spec in data.get("extra_specs", ())
+        )
+        for name in ("ns", "adversaries", "modes", "seeds"):
+            if name in data:
+                data[name] = tuple(data[name])
+        return ExperimentPlan(**data)  # type: ignore[arg-type]

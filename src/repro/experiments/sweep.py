@@ -1,0 +1,207 @@
+"""Parallel execution of experiment plans and JSON persistence of results.
+
+:func:`execute_spec` is the unit of work — a module-level function so it can
+be pickled into ``multiprocessing`` workers.  :class:`SweepRunner` fans a
+plan's specs across a worker pool (or runs them serially for ``jobs=1``),
+preserving plan order in the returned :class:`SweepResult` regardless of
+completion order.  Results serialise to the JSON layout used by the repo's
+``BENCH_*.json`` trajectory files.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.plan import ExperimentPlan, ExperimentSpec
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """The persisted outcome of one executed spec.
+
+    Everything a benchmark table or a cross-PR trajectory needs, flattened to
+    JSON-friendly scalars: the spec itself, wall-clock seconds, decision
+    outcome and the paper's metrics.
+    """
+
+    spec: ExperimentSpec
+    seconds: float
+    agreement: bool
+    decided_count: int
+    correct_count: int
+    rounds: Optional[int]
+    span: Optional[float]
+    max_decision_time: Optional[float]
+    total_messages: int
+    total_bits: int
+    amortized_bits: float
+    max_node_bits: int
+    median_node_bits: float
+    load_imbalance: float
+
+    @property
+    def decided_fraction(self) -> float:
+        """Fraction of correct nodes that decided."""
+        if not self.correct_count:
+            return 0.0
+        return self.decided_count / self.correct_count
+
+    def row(self) -> Dict[str, object]:
+        """One flat table row (for ``format_table`` and benchmark reports)."""
+        spec = self.spec
+        return {
+            "n": spec.n,
+            "adversary": spec.adversary,
+            "mode": spec.mode + ("-rushing" if spec.rushing else ""),
+            "seed": spec.seed,
+            "decided": f"{self.decided_count}/{self.correct_count}",
+            "agreement": int(self.agreement),
+            "rounds": self.rounds if self.rounds is not None else "-",
+            "span": round(self.span, 2) if self.span is not None else "-",
+            "amortized_bits": round(self.amortized_bits, 1),
+            "max_node_bits": self.max_node_bits,
+            "load_imbalance": round(self.load_imbalance, 2),
+            "seconds": round(self.seconds, 3),
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        data = asdict(self)
+        data["spec"] = self.spec.to_dict()
+        return data
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "ExperimentRecord":
+        data = dict(data)
+        data["spec"] = ExperimentSpec.from_dict(data["spec"])  # type: ignore[arg-type]
+        return ExperimentRecord(**data)  # type: ignore[arg-type]
+
+
+def execute_spec(spec: ExperimentSpec) -> ExperimentRecord:
+    """Run one spec and condense the result into a record (worker entry point)."""
+    start = time.perf_counter()
+    result = spec.run()
+    seconds = time.perf_counter() - start
+    metrics = result.metrics
+    return ExperimentRecord(
+        spec=spec,
+        seconds=seconds,
+        agreement=result.agreement_reached,
+        decided_count=len(result.decisions),
+        correct_count=len(result.correct_ids),
+        rounds=result.rounds,
+        span=result.span,
+        max_decision_time=metrics.max_decision_time,
+        total_messages=result.metrics_all.total_messages,
+        total_bits=result.metrics_all.total_bits,
+        amortized_bits=metrics.amortized_bits,
+        max_node_bits=metrics.max_node_bits,
+        median_node_bits=metrics.median_node_bits,
+        load_imbalance=metrics.load_imbalance,
+    )
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All records of a finished sweep, in plan order."""
+
+    plan: ExperimentPlan
+    records: List[ExperimentRecord]
+    total_seconds: float
+    jobs: int
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Flat table rows, one per record (plan order)."""
+        return [record.row() for record in self.records]
+
+    def filter(self, **spec_fields) -> List[ExperimentRecord]:
+        """Records whose spec matches every given field (e.g. ``mode="sync"``)."""
+        return [
+            record
+            for record in self.records
+            if all(getattr(record.spec, k) == v for k, v in spec_fields.items())
+        ]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "plan": self.plan.to_dict(),
+            "records": [record.to_dict() for record in self.records],
+            "total_seconds": self.total_seconds,
+            "jobs": self.jobs,
+        }
+
+    def save(self, path: str) -> None:
+        """Persist the sweep as JSON (the ``BENCH_*.json`` layout)."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=1)
+
+    @staticmethod
+    def load(path: str) -> "SweepResult":
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        return SweepResult(
+            plan=ExperimentPlan.from_dict(data["plan"]),
+            records=[ExperimentRecord.from_dict(r) for r in data["records"]],
+            total_seconds=data["total_seconds"],
+            jobs=data["jobs"],
+        )
+
+
+def _worker_context():
+    """Pick the cheapest available multiprocessing start method."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+class SweepRunner:
+    """Fan an :class:`ExperimentPlan` across worker processes.
+
+    Parameters
+    ----------
+    plan:
+        The grid to run.
+    jobs:
+        Worker processes; ``None`` picks ``min(cpu_count, len(plan))``, and
+        ``1`` runs serially in-process (no pool), which is what tests use for
+        determinism of coverage measurements and debuggability.
+    """
+
+    def __init__(self, plan: ExperimentPlan, jobs: Optional[int] = None) -> None:
+        self.plan = plan
+        self.jobs = jobs
+
+    def resolve_jobs(self, spec_count: int) -> int:
+        if self.jobs is not None:
+            return max(1, self.jobs)
+        return max(1, min(os.cpu_count() or 1, spec_count))
+
+    def run(self) -> SweepResult:
+        """Execute every spec of the plan; records come back in plan order."""
+        specs = self.plan.specs()
+        jobs = self.resolve_jobs(len(specs))
+        start = time.perf_counter()
+        if jobs == 1 or len(specs) <= 1:
+            records = [execute_spec(spec) for spec in specs]
+        else:
+            with _worker_context().Pool(processes=jobs) as pool:
+                records = pool.map(execute_spec, specs)
+        total_seconds = time.perf_counter() - start
+        return SweepResult(
+            plan=self.plan, records=records, total_seconds=total_seconds, jobs=jobs
+        )
+
+
+def run_sweep(
+    plan: ExperimentPlan,
+    jobs: Optional[int] = None,
+    out: Optional[str] = None,
+) -> SweepResult:
+    """Convenience wrapper: run a plan and optionally persist the result."""
+    result = SweepRunner(plan, jobs=jobs).run()
+    if out is not None:
+        result.save(out)
+    return result

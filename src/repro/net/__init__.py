@@ -20,6 +20,10 @@ Public surface
     Base class for wire messages with explicit bit accounting.
 ``MetricsCollector`` / ``MetricsSummary``
     Per-node and aggregate communication/time accounting.
+``EventKernel``
+    The shared simulation machinery (population wiring, batched dispatch and
+    delivery, decision tracking); both simulators are thin scheduling
+    policies over it.
 ``SynchronousSimulator``
     Lock-step round execution with rushing or non-rushing adversary.
 ``AsynchronousSimulator``
@@ -33,6 +37,7 @@ from repro.net.metrics import MetricsCollector, MetricsSummary
 from repro.net.node import Node, NodeContext
 from repro.net.results import SimulationResult
 from repro.net.rng import DeterministicRNG, derive_rng, stable_hash
+from repro.net.kernel import EventKernel
 from repro.net.simulator import Simulator
 from repro.net.sync import SynchronousSimulator
 from repro.net.asynchronous import AsynchronousSimulator, DelayPolicy, RandomDelayPolicy
@@ -47,6 +52,7 @@ __all__ = [
     "DeterministicRNG",
     "derive_rng",
     "stable_hash",
+    "EventKernel",
     "Simulator",
     "SynchronousSimulator",
     "AsynchronousSimulator",

@@ -18,19 +18,25 @@ Concretely, this simulator draws every message's delay from ``(0, 1]``:
 The adversary in this model is inherently *rushing*: it observes every
 message at the moment it is sent, before deciding on its own messages and on
 the delays.
+
+The class is a thin scheduling policy over
+:class:`~repro.net.kernel.EventKernel`: it decides *when* dispatched messages
+are delivered (heap order of their delay-adjusted times); all delivery,
+metrics and decision machinery is the kernel's.  Heap entries are plain
+``(time, seq, sender, dest, message, bits)`` tuples — the unique ``seq``
+breaks ties before any message comparison can be attempted.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro.net.kernel import AdversaryProtocol, EventKernel, SendRecord
 from repro.net.messages import Message, SizeModel
 from repro.net.node import Node
 from repro.net.results import SimulationResult
 from repro.net.rng import derive_rng
-from repro.net.simulator import AdversaryProtocol, SendRecord, Simulator
 
 #: smallest delay any message may have; keeps event times strictly increasing
 MIN_DELAY = 1e-3
@@ -69,22 +75,10 @@ class RandomDelayPolicy(DelayPolicy):
         return rng.uniform(self.low, self.high)
 
 
-@dataclass(order=True)
-class _Event:
-    """Heap entry: delivery of one message."""
-
-    time: float
-    seq: int
-    sender: int = 0
-    dest: int = 0
-    message: Message = None  # type: ignore[assignment]
-    bits: int = 0
-
-
-class AsynchronousSimulator(Simulator):
+class AsynchronousSimulator(EventKernel):
     """Event-driven execution with adversary-controlled, bounded delays.
 
-    Parameters (in addition to :class:`~repro.net.simulator.Simulator`)
+    Parameters (in addition to :class:`~repro.net.kernel.EventKernel`)
     ----------
     delay_policy:
         Delay selection for messages the adversary leaves alone.
@@ -112,40 +106,81 @@ class AsynchronousSimulator(Simulator):
         self.max_events = max_events
         self._time = 0.0
         self._seq = 0
-        self._queue: list[_Event] = []
+        self._queue: list = []
         self._scheduler_rng = derive_rng(seed, "scheduler")
+        # Fast-path delay selection: with no adversary and one of the two
+        # built-in policies, the per-message SendRecord (observation payload)
+        # and the clamp are provably redundant, so the hot path skips them.
+        # The draws are bit-identical to the policy's (`uniform(a, b)` is
+        # exactly ``a + (b - a) * random()``).
+        self._uniform_fast = None
+        self._constant_fast = None
+        if adversary is None:
+            policy = self.delay_policy
+            if type(policy) is RandomDelayPolicy:
+                self._uniform_fast = (policy.low, policy.high - policy.low)
+            elif type(policy) is ConstantDelayPolicy:
+                self._constant_fast = policy.value
 
     # ------------------------------------------------------------------
-    # Simulator interface
+    # EventKernel interface (the scheduling policy)
     # ------------------------------------------------------------------
     def now(self) -> float:
         return self._time
 
     def dispatch_send(self, sender: int, dest: int, message: Message) -> None:
         bits = self.metrics.record_send(sender, dest, message, self._time)
-        record = SendRecord(sender, dest, message, self._time)
+        self._schedule(sender, dest, message, bits)
 
-        delay: Optional[float] = None
-        if self.adversary is not None:
-            # Full-information model: the adversary observes every send and
-            # may pick the delay (reliability forces it into (0, 1]).
-            self.adversary.observe_send(record)
-            delay = self.adversary.delay_for(record)
-        if delay is None:
-            delay = self.delay_policy.delay(record, self._scheduler_rng)
-        delay = min(1.0, max(MIN_DELAY, float(delay)))
+    def dispatch_send_many(self, sender: int, dests: Sequence[int], message: Message) -> None:
+        if not dests:
+            return
+        if self.adversary is not None or self.metrics.message_log_enabled:
+            # Preserve the exact per-message interleaving of adversary
+            # observations (which may themselves send) with log entries.
+            for dest in dests:
+                self.dispatch_send(sender, dest, message)
+            return
+        bits = self.metrics.record_send_many(sender, tuple(dests), message, self._time)
+        uniform = self._uniform_fast
+        if uniform is not None:
+            low, span = uniform
+            time = self._time
+            seq = self._seq
+            queue = self._queue
+            push = heapq.heappush
+            rand = self._scheduler_rng.random
+            for dest in dests:
+                seq += 1
+                # parenthesised so the delay is rounded exactly as uniform() does
+                push(queue, (time + (low + span * rand()), seq, sender, dest, message, bits))
+            self._seq = seq
+            return
+        for dest in dests:
+            self._schedule(sender, dest, message, bits)
+
+    def _schedule(self, sender: int, dest: int, message: Message, bits: int) -> None:
+        uniform = self._uniform_fast
+        if uniform is not None:
+            low, span = uniform
+            delay = low + span * self._scheduler_rng.random()
+        elif self._constant_fast is not None:
+            delay = self._constant_fast
+        else:
+            record = SendRecord(sender, dest, message, self._time)
+            delay: Optional[float] = None
+            if self.adversary is not None:
+                # Full-information model: the adversary observes every send and
+                # may pick the delay (reliability forces it into (0, 1]).
+                self.adversary.observe_send(record)
+                delay = self.adversary.delay_for(record)
+            if delay is None:
+                delay = self.delay_policy.delay(record, self._scheduler_rng)
+            delay = min(1.0, max(MIN_DELAY, float(delay)))
 
         self._seq += 1
         heapq.heappush(
-            self._queue,
-            _Event(
-                time=self._time + delay,
-                seq=self._seq,
-                sender=sender,
-                dest=dest,
-                message=message,
-                bits=bits,
-            ),
+            self._queue, (self._time + delay, self._seq, sender, dest, message, bits)
         )
 
     def run(self) -> SimulationResult:
@@ -156,14 +191,41 @@ class AsynchronousSimulator(Simulator):
         if self.adversary is not None:
             self.adversary.on_start()
 
+        # Event loop with the kernel's delivery inlined: received counters are
+        # folded into local dicts and flushed once at the end (batched metrics
+        # accumulation); decision times are still recorded at exact event times.
         delivered = 0
-        while self._queue and not self.all_decided():
-            event = heapq.heappop(self._queue)
-            if event.time > self.max_time or delivered >= self.max_events:
+        max_time = self.max_time
+        max_events = self.max_events
+        queue = self._queue
+        pop = heapq.heappop
+        handlers = self._on_message_of
+        adversary = self.adversary
+        byzantine = self.byzantine_ids
+        decided = self._decided
+        received: dict = {}
+        while queue and self._undecided_count:
+            time, _seq, sender, dest, message, bits = pop(queue)
+            if time > max_time or delivered >= max_events:
                 break
-            self._time = event.time
-            self.deliver(event.sender, event.dest, event.message, event.bits)
+            self._time = time
+            entry = received.get(dest)
+            if entry is None:
+                received[dest] = [1, bits]
+            else:
+                entry[0] += 1
+                entry[1] += bits
+            handler = handlers.get(dest)
+            if handler is not None:
+                handler(sender, message)
+                if not decided[dest]:
+                    self.note_decisions(dest)
+            elif adversary is not None and dest in byzantine:
+                adversary.on_deliver(dest, sender, message)
             delivered += 1
+        self.metrics.record_delivery_batch(
+            (dest, counts[0], counts[1]) for dest, counts in received.items()
+        )
 
         summary = self.metrics.summary(restrict_to=self.correct_ids)
         span = summary.max_decision_time

@@ -1,0 +1,328 @@
+"""The event kernel — machinery shared by every scheduling discipline.
+
+Both schedulers execute the same abstract machine: a set of correct
+:class:`~repro.net.node.Node` objects, an optional adversary controlling the
+remaining identities, a :class:`~repro.net.metrics.MetricsCollector`, and
+per-node contexts that stamp the authenticated sender id on every message.
+:class:`EventKernel` owns all of that — population wiring, message delivery
+(single and batched), decision tracking and result assembly — so that
+:class:`~repro.net.sync.SynchronousSimulator` and
+:class:`~repro.net.asynchronous.AsynchronousSimulator` are reduced to thin
+scheduling policies: *when* a dispatched message is delivered.
+
+Hot-path design:
+
+* a multicast enters the kernel as **one** grouped ``(sender, dests, message,
+  bits)`` record via :meth:`EventKernel.dispatch_send_many`, so its metrics
+  are a constant number of dict updates and the per-destination fan-out
+  happens only at delivery time;
+* :meth:`EventKernel.deliver_batch` delivers a whole batch (e.g. one
+  synchronous round's inbox) with aggregate counter accumulation — per-node
+  received-bits are folded into plain ints and flushed once per batch — and
+  decision tracking per *touched* node instead of per message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
+
+from repro.net.messages import Message, SizeModel
+from repro.net.metrics import MetricsCollector
+from repro.net.node import Node
+from repro.net.results import SimulationResult
+from repro.net.rng import DeterministicRNG, derive_rng
+
+
+@dataclass(frozen=True)
+class SendRecord:
+    """A single message put on the wire (used for adversary observation and logs)."""
+
+    sender: int
+    dest: int
+    message: Message
+    time: float
+
+
+class AdversaryProtocol(Protocol):
+    """The interface the simulators require from an adversary implementation.
+
+    The concrete adversary framework lives in :mod:`repro.adversary`; the
+    simulators only rely on this narrow protocol so that tests can plug in
+    trivial stand-ins.
+    """
+
+    @property
+    def byzantine_ids(self) -> frozenset:
+        """Identities of the corrupted nodes (chosen non-adaptively, before the run)."""
+
+    def bind(self, context: "AdversaryContext") -> None:
+        """Attach the simulator-provided context before the run starts."""
+
+    def on_start(self) -> None:
+        """Called once at time zero."""
+
+    def on_deliver(self, byz_id: int, sender: int, message: Message) -> None:
+        """A message from ``sender`` reached the corrupted node ``byz_id``."""
+
+    def on_round(self, round_no: int, observed: Optional[List[SendRecord]]) -> None:
+        """Synchronous scheduler: the adversary's turn for this round.
+
+        ``observed`` contains the messages the correct nodes send this round
+        when the adversary is *rushing*, and ``None`` when it is non-rushing.
+        """
+
+    def observe_send(self, record: SendRecord) -> None:
+        """Asynchronous scheduler: the adversary sees every message when it is sent."""
+
+    def delay_for(self, record: SendRecord) -> Optional[float]:
+        """Asynchronous scheduler: pick this message's delay in ``(0, 1]``.
+
+        Returning ``None`` delegates the choice to the simulator's default
+        delay policy.
+        """
+
+
+class AdversaryContext:
+    """Capabilities granted to the adversary: send as any corrupted node."""
+
+    def __init__(self, kernel: "EventKernel", rng: DeterministicRNG) -> None:
+        self._kernel = kernel
+        self.rng = rng
+
+    @property
+    def n(self) -> int:
+        """System size."""
+        return self._kernel.n
+
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._kernel.now()
+
+    def send_as(self, byz_id: int, dest: int, message: Message) -> None:
+        """Send ``message`` to ``dest`` with the (authentic) sender id ``byz_id``.
+
+        Channels are authenticated (Section 2.1): even the adversary can only
+        send under the identities it actually controls, which this method
+        enforces.
+        """
+        if byz_id not in self._kernel.byzantine_ids:
+            raise PermissionError(
+                f"adversary tried to forge sender id {byz_id}, which it does not control"
+            )
+        self._kernel.dispatch_send(byz_id, dest, message)
+
+
+class _NodeContext:
+    """Concrete :class:`~repro.net.node.NodeContext` bound to one correct node."""
+
+    def __init__(self, kernel: "EventKernel", node_id: int, rng: DeterministicRNG) -> None:
+        self._kernel = kernel
+        self._node_id = node_id
+        self._rng = rng
+
+    @property
+    def node_id(self) -> int:
+        return self._node_id
+
+    @property
+    def n(self) -> int:
+        return self._kernel.n
+
+    @property
+    def rng(self) -> DeterministicRNG:
+        return self._rng
+
+    def now(self) -> float:
+        return self._kernel.now()
+
+    def send(self, dest: int, message: Message) -> None:
+        if not 0 <= dest < self._kernel.n:
+            raise ValueError(f"destination {dest} outside [0, {self._kernel.n})")
+        self._kernel.dispatch_send(self._node_id, dest, message)
+
+    def send_many(self, dests: Sequence[int], message: Message) -> None:
+        if not isinstance(dests, (tuple, list)):
+            dests = tuple(dests)  # tolerate sets/generators, as multicast always did
+        if not dests:
+            return
+        kernel = self._kernel
+        if min(dests) < 0 or max(dests) >= kernel.n:
+            raise ValueError(f"destination outside [0, {kernel.n}) in {dests!r}")
+        kernel.dispatch_send_many(self._node_id, dests, message)
+
+
+class EventKernel:
+    """Common state and machinery shared by both schedulers.
+
+    Parameters
+    ----------
+    nodes:
+        The correct protocol participants.  Their ``node_id`` attributes must
+        be distinct and must not collide with the adversary's corrupted ids.
+    n:
+        Total system size (correct + Byzantine).
+    adversary:
+        Optional adversary; when omitted the run is failure-free, which is the
+        setting in which the paper guarantees success deterministically
+        ("unlike many randomized protocols, success is guaranteed when there
+        is no Byzantine fault").
+    seed:
+        Master seed from which every node's private RNG, the adversary's RNG
+        and the scheduler's RNG are derived.
+    size_model:
+        Bit-accounting model; defaults to ``SizeModel(n)``.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        n: int,
+        adversary: Optional[AdversaryProtocol] = None,
+        seed: int = 0,
+        size_model: Optional[SizeModel] = None,
+    ) -> None:
+        self.n = n
+        self.seed = seed
+        self.adversary = adversary
+        self.byzantine_ids: frozenset = (
+            frozenset(adversary.byzantine_ids) if adversary is not None else frozenset()
+        )
+        self.nodes: Dict[int, Node] = {}
+        for node in nodes:
+            if node.node_id in self.byzantine_ids:
+                raise ValueError(
+                    f"node {node.node_id} is both a correct node and Byzantine"
+                )
+            if node.node_id in self.nodes:
+                raise ValueError(f"duplicate node id {node.node_id}")
+            self.nodes[node.node_id] = node
+        self.correct_ids: List[int] = sorted(self.nodes)
+
+        self.size_model = size_model or SizeModel(n)
+        self.metrics = MetricsCollector(self.size_model)
+        self._decided: Dict[int, bool] = {i: False for i in self.correct_ids}
+        self._undecided_count = len(self.correct_ids)
+
+        for node_id, node in self.nodes.items():
+            rng = derive_rng(seed, "node", node_id)
+            node.bind(_NodeContext(self, node_id, rng))
+        if adversary is not None:
+            adversary.bind(AdversaryContext(self, derive_rng(seed, "adversary")))
+        #: bound per-node message handlers, saving an attribute lookup per delivery
+        self._on_message_of: Dict[int, object] = {
+            node_id: node.on_message for node_id, node in self.nodes.items()
+        }
+
+    # ------------------------------------------------------------------
+    # hooks implemented by the scheduling policies
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """Current simulation time (round number or event time)."""
+        raise NotImplementedError
+
+    def dispatch_send(self, sender: int, dest: int, message: Message) -> None:
+        """Accept a message for (scheduler-specific) future delivery."""
+        raise NotImplementedError
+
+    def dispatch_send_many(self, sender: int, dests: Sequence[int], message: Message) -> None:
+        """Accept one message for many destinations (a multicast).
+
+        Schedulers override this with a batched implementation; the default
+        simply dispatches per destination, which is always equivalent.
+        """
+        for dest in dests:
+            self.dispatch_send(sender, dest, message)
+
+    def run(self) -> SimulationResult:
+        """Execute the protocol to completion and return the result."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # delivery
+    # ------------------------------------------------------------------
+    def deliver(self, sender: int, dest: int, message: Message, bits: int) -> None:
+        """Hand a message to its recipient (correct node or adversary)."""
+        self.metrics.record_delivery(dest, bits)
+        node = self.nodes.get(dest)
+        if node is not None:
+            node.on_message(sender, message)
+            self.note_decisions(dest)
+        elif self.adversary is not None and dest in self.byzantine_ids:
+            self.adversary.on_deliver(dest, sender, message)
+        # messages to ids that exist in neither set (possible when a protocol
+        # is run on a sub-population) are silently dropped, matching the model
+        # where such a node simply never replies.
+
+    def deliver_batch(self, batch: Iterable[Tuple[int, Sequence[int], Message, int]]) -> None:
+        """Deliver a batch of grouped ``(sender, dests, message, bits)`` records.
+
+        Per-destination delivery order is exactly the dispatch order; only the
+        metrics accumulation and the decision bookkeeping are batched —
+        received counters are folded into local ints and flushed once, and
+        each *touched* correct node's decision is recorded once at the end of
+        the batch (all deliveries of a batch share the same logical time).
+        """
+        nodes = self.nodes
+        adversary = self.adversary
+        byzantine = self.byzantine_ids
+        handlers = self._on_message_of
+        received: Dict[int, List[int]] = {}
+        for sender, dests, message, bits in batch:
+            for dest in dests:
+                entry = received.get(dest)
+                if entry is None:
+                    received[dest] = [1, bits]
+                else:
+                    entry[0] += 1
+                    entry[1] += bits
+                handler = handlers.get(dest)
+                if handler is not None:
+                    handler(sender, message)
+                elif adversary is not None and dest in byzantine:
+                    adversary.on_deliver(dest, sender, message)
+        self.metrics.record_delivery_batch(
+            (dest, counts[0], counts[1]) for dest, counts in received.items()
+        )
+        decided = self._decided
+        for dest in received:
+            if dest in nodes and not decided[dest]:
+                self.note_decisions(dest)
+
+    # ------------------------------------------------------------------
+    # decision tracking and result assembly
+    # ------------------------------------------------------------------
+    def note_decisions(self, node_id: int) -> None:
+        """Record the decision time of ``node_id`` if it has just decided."""
+        if not self._decided.get(node_id) and self.nodes[node_id].has_decided:
+            self._decided[node_id] = True
+            self._undecided_count -= 1
+            self.metrics.record_decision(node_id, self.now())
+
+    def all_decided(self) -> bool:
+        """Whether every correct node has decided."""
+        return self._undecided_count == 0
+
+    def build_result(self, rounds: Optional[int], span: Optional[float]) -> SimulationResult:
+        """Assemble the :class:`SimulationResult` once execution has stopped."""
+        decisions = {
+            node_id: node.decision
+            for node_id, node in self.nodes.items()
+            if node.has_decided
+        }
+        return SimulationResult(
+            n=self.n,
+            correct_ids=list(self.correct_ids),
+            byzantine_ids=sorted(self.byzantine_ids),
+            decisions=decisions,
+            rounds=rounds,
+            span=span,
+            metrics=self.metrics.summary(restrict_to=self.correct_ids),
+            metrics_all=self.metrics.summary(),
+        )
+
+
+def build_node_ids(n: int, byzantine_ids: Iterable[int]) -> List[int]:
+    """Return the identities of the correct nodes in a system of size ``n``."""
+    byz = set(byzantine_ids)
+    return [i for i in range(n) if i not in byz]

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import cached_property
 
 
 @dataclass(frozen=True)
@@ -38,12 +39,14 @@ class SizeModel:
     n: int
     label_space: int = 0
 
-    @property
+    # The field sizes are pure functions of (n, label_space); they are cached
+    # because Message.bits() is evaluated millions of times per run.
+    @cached_property
     def id_bits(self) -> int:
         """Bits needed to name one node."""
         return max(1, math.ceil(math.log2(max(2, self.n))))
 
-    @property
+    @cached_property
     def label_bits(self) -> int:
         """Bits needed to transmit one random label from ``R``."""
         if self.label_space <= 1:

@@ -11,15 +11,25 @@ The paper reports (Figure 1, Lemmas 3-10):
 :class:`MetricsCollector` records every send and delivery as the simulators
 execute, and :class:`MetricsSummary` condenses them into exactly the
 quantities the benchmarks print.
+
+Accounting is batched for speed: counters live in flat ``{node_id: int}``
+dicts (no per-message object churn), the bit cost of a message is computed
+once and memoised (protocol messages are immutable and frequently multicast),
+and the event kernel can record a whole multicast or delivery batch with a
+single call.  :class:`NodeTraffic` views are materialised on demand.
 """
 
 from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.net.messages import Message, SizeModel
+
+#: safety bound on the memoised message-cost cache (entries are tiny; the cap
+#: only matters for pathological runs with millions of distinct messages)
+_BITS_CACHE_LIMIT = 1 << 20
 
 
 @dataclass
@@ -106,14 +116,20 @@ class MetricsSummary:
 class MetricsCollector:
     """Records traffic and timing events during a simulation run.
 
-    The collector is deliberately dumb: the simulators call
-    :meth:`record_send` / :meth:`record_delivery` / :meth:`record_decision`
-    and everything else is derived lazily in :meth:`summary`.
+    The collector is deliberately dumb: the simulators call the ``record_*``
+    methods and everything else is derived lazily in :meth:`summary`.  The
+    batched variants (:meth:`record_send_many`,
+    :meth:`record_delivery_batch`) fold a whole multicast or delivery sweep
+    into a constant number of dict updates.
     """
 
     def __init__(self, size_model: SizeModel) -> None:
         self.size_model = size_model
-        self._traffic: Dict[int, NodeTraffic] = {}
+        self._sent_messages: Dict[int, int] = {}
+        self._sent_bits: Dict[int, int] = {}
+        self._received_messages: Dict[int, int] = {}
+        self._received_bits: Dict[int, int] = {}
+        self._bits_cache: Dict[Message, int] = {}
         self._decision_times: Dict[int, float] = {}
         self._rounds: Optional[int] = None
         self._span: Optional[float] = None
@@ -128,16 +144,24 @@ class MetricsCollector:
         self._message_log_enabled = True
 
     @property
+    def message_log_enabled(self) -> bool:
+        """Whether the per-message log is being kept."""
+        return self._message_log_enabled
+
+    @property
     def message_log(self) -> List[tuple]:
         """The full message log (empty unless :meth:`enable_message_log` was called)."""
         return self._message_log
 
-    def _node(self, node_id: int) -> NodeTraffic:
-        traffic = self._traffic.get(node_id)
-        if traffic is None:
-            traffic = NodeTraffic()
-            self._traffic[node_id] = traffic
-        return traffic
+    def bits_of(self, message: Message) -> int:
+        """Bit cost of ``message``, memoised (messages are immutable)."""
+        bits = self._bits_cache.get(message)
+        if bits is None:
+            bits = message.bits(self.size_model)
+            if len(self._bits_cache) >= _BITS_CACHE_LIMIT:
+                self._bits_cache.clear()
+            self._bits_cache[message] = bits
+        return bits
 
     def record_send(self, sender: int, dest: int, message: Message, time: float) -> int:
         """Record ``sender`` putting ``message`` on the wire towards ``dest``.
@@ -145,19 +169,49 @@ class MetricsCollector:
         Returns the bit cost charged, so the caller can reuse it for the
         matching delivery record.
         """
-        bits = message.bits(self.size_model)
-        traffic = self._node(sender)
-        traffic.sent_messages += 1
-        traffic.sent_bits += bits
+        bits = self.bits_of(message)
+        sent_messages = self._sent_messages
+        sent_messages[sender] = sent_messages.get(sender, 0) + 1
+        sent_bits = self._sent_bits
+        sent_bits[sender] = sent_bits.get(sender, 0) + bits
         if self._message_log_enabled:
             self._message_log.append((sender, dest, message.kind, bits, time))
         return bits
 
+    def record_send_many(
+        self, sender: int, dests: Sequence[int], message: Message, time: float
+    ) -> int:
+        """Record a multicast of ``message`` to every node in ``dests`` in one step.
+
+        Equivalent to calling :meth:`record_send` once per destination (the
+        message log, when enabled, still receives one entry per destination).
+        Returns the per-message bit cost.
+        """
+        bits = self.bits_of(message)
+        count = len(dests)
+        sent_messages = self._sent_messages
+        sent_messages[sender] = sent_messages.get(sender, 0) + count
+        sent_bits = self._sent_bits
+        sent_bits[sender] = sent_bits.get(sender, 0) + count * bits
+        if self._message_log_enabled:
+            kind = message.kind
+            self._message_log.extend((sender, dest, kind, bits, time) for dest in dests)
+        return bits
+
     def record_delivery(self, dest: int, bits: int) -> None:
         """Record ``dest`` receiving a message of the given bit cost."""
-        traffic = self._node(dest)
-        traffic.received_messages += 1
-        traffic.received_bits += bits
+        received_messages = self._received_messages
+        received_messages[dest] = received_messages.get(dest, 0) + 1
+        received_bits = self._received_bits
+        received_bits[dest] = received_bits.get(dest, 0) + bits
+
+    def record_delivery_batch(self, counts: Iterable[Tuple[int, int, int]]) -> None:
+        """Record a batch of deliveries as ``(dest, message_count, total_bits)`` triples."""
+        received_messages = self._received_messages
+        received_bits = self._received_bits
+        for dest, messages, bits in counts:
+            received_messages[dest] = received_messages.get(dest, 0) + messages
+            received_bits[dest] = received_bits.get(dest, 0) + bits
 
     def record_decision(self, node_id: int, time: float) -> None:
         """Record the (first) time at which ``node_id`` decided."""
@@ -176,13 +230,21 @@ class MetricsCollector:
     # ------------------------------------------------------------------
     def traffic_of(self, node_id: int) -> NodeTraffic:
         """Return the raw counters for one node (zeros if it never communicated)."""
-        return self._traffic.get(node_id, NodeTraffic())
+        return NodeTraffic(
+            sent_messages=self._sent_messages.get(node_id, 0),
+            sent_bits=self._sent_bits.get(node_id, 0),
+            received_messages=self._received_messages.get(node_id, 0),
+            received_bits=self._received_bits.get(node_id, 0),
+        )
+
+    def _total_bits_of(self, node_id: int) -> int:
+        return self._sent_bits.get(node_id, 0) + self._received_bits.get(node_id, 0)
 
     def per_node_bits(self, node_ids: Optional[List[int]] = None) -> Dict[int, int]:
         """Return ``{node_id: sent+received bits}`` for the requested nodes."""
         if node_ids is None:
-            node_ids = sorted(self._traffic)
-        return {node_id: self.traffic_of(node_id).total_bits for node_id in node_ids}
+            node_ids = sorted(set(self._sent_bits) | set(self._received_bits))
+        return {node_id: self._total_bits_of(node_id) for node_id in node_ids}
 
     def summary(self, restrict_to: Optional[List[int]] = None) -> MetricsSummary:
         """Condense the recorded events into a :class:`MetricsSummary`.
@@ -196,8 +258,8 @@ class MetricsCollector:
             Totals (total bits/messages) always cover the whole system.
         """
         n = self.size_model.n
-        total_messages = sum(t.sent_messages for t in self._traffic.values())
-        total_bits = sum(t.sent_bits for t in self._traffic.values())
+        total_messages = sum(self._sent_messages.values())
+        total_bits = sum(self._sent_bits.values())
 
         if restrict_to is None:
             node_ids = list(range(n))
@@ -207,7 +269,7 @@ class MetricsCollector:
             decisions = {
                 i: t for i, t in self._decision_times.items() if i in set(restrict_to)
             }
-        per_node = {i: self.traffic_of(i).total_bits for i in node_ids}
+        per_node = {i: self._total_bits_of(i) for i in node_ids}
         loads = list(per_node.values())
         if not loads:
             loads = [0]

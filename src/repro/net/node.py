@@ -44,6 +44,9 @@ class NodeContext(Protocol):
     def send(self, dest: int, message: Message) -> None:
         """Send ``message`` to ``dest`` over the authenticated channel."""
 
+    def send_many(self, dests, message: Message) -> None:
+        """Send the same ``message`` to every node in ``dests`` (batched multicast)."""
+
     def now(self) -> float:
         """Current time: round number (sync) or event time (async)."""
 
@@ -88,10 +91,17 @@ class Node:
         """Send ``message`` to node ``dest``."""
         self.context.send(dest, message)
 
+    def send_many(self, dests, message: Message) -> None:
+        """Send the same ``message`` to every node in ``dests``, as one batch.
+
+        The kernel accounts a multicast with a single grouped record, so this
+        is the preferred way to fan a message out on hot paths.
+        """
+        self.context.send_many(dests, message)
+
     def multicast(self, dests, message: Message) -> None:
         """Send the same ``message`` to every node in ``dests`` (a set/list of ids)."""
-        for dest in dests:
-            self.context.send(dest, message)
+        self.context.send_many(dests, message)
 
     def decide(self, value: object) -> None:
         """Record the node's irrevocable decision (first call wins)."""

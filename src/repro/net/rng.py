@@ -36,13 +36,37 @@ class DeterministicRNG(random.Random):
         return f"DeterministicRNG(label={self.label!r})"
 
 
+def absorb(hasher, part: object) -> None:
+    """Absorb one part into ``hasher`` using the canonical length-prefixed encoding.
+
+    This is *the* encoding of :func:`stable_hash`; every incremental user
+    (e.g. the samplers' prefix hashers) must go through it so the digests
+    stay bit-identical.
+    """
+    encoded = repr(part).encode("utf-8")
+    hasher.update(len(encoded).to_bytes(4, "big"))
+    hasher.update(encoded)
+
+
+def hash_prefix(*parts: object):
+    """A blake2b hasher with ``parts`` absorbed, for incremental reuse.
+
+    ``prefix.copy()`` + :func:`absorb`-ing the remaining parts produces
+    exactly the digest of :func:`stable_hash` over the full part list; the
+    samplers use this to avoid re-hashing their constant key prefix
+    (seed, family name, string) for every single draw.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        absorb(hasher, part)
+    return hasher
+
+
 def _digest(parts: Iterable[object]) -> bytes:
     """Return a 16-byte blake2b digest of the canonical encoding of ``parts``."""
     hasher = hashlib.blake2b(digest_size=16)
     for part in parts:
-        encoded = repr(part).encode("utf-8")
-        hasher.update(len(encoded).to_bytes(4, "big"))
-        hasher.update(encoded)
+        absorb(hasher, part)
     return hasher.digest()
 
 

@@ -1,249 +1,34 @@
-"""Shared machinery for the synchronous and asynchronous simulators.
+"""Compatibility facade over the event kernel.
 
-Both schedulers share the same structure: a set of correct :class:`Node`
-objects, an optional adversary controlling the remaining identities, a
-:class:`MetricsCollector`, and per-node contexts that stamp the authenticated
-sender id on every message.  The scheduling discipline (lock-step rounds vs
-adversarially delayed events) is what the subclasses add.
+The shared simulation machinery lives in :mod:`repro.net.kernel`; this module
+preserves the historical import surface (``Simulator``, ``SendRecord``,
+``AdversaryContext``, ``build_node_ids``, …) used throughout the tests,
+benchmarks and adversary framework.  ``Simulator`` *is* the event kernel —
+the name is kept because "a simulator" is how protocol-facing code refers to
+the object it is handed, while :class:`~repro.net.kernel.EventKernel`
+describes the architectural role.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Protocol, Sequence
+from repro.net.kernel import (
+    AdversaryContext,
+    AdversaryProtocol,
+    EventKernel,
+    SendRecord,
+    _NodeContext,
+    build_node_ids,
+)
 
-from repro.net.messages import Message, SizeModel
-from repro.net.metrics import MetricsCollector
-from repro.net.node import Node
-from repro.net.results import SimulationResult
-from repro.net.rng import DeterministicRNG, derive_rng
+#: historical name for the shared simulation machinery
+Simulator = EventKernel
 
-
-@dataclass(frozen=True)
-class SendRecord:
-    """A single message put on the wire (used for adversary observation and logs)."""
-
-    sender: int
-    dest: int
-    message: Message
-    time: float
-
-
-class AdversaryProtocol(Protocol):
-    """The interface the simulators require from an adversary implementation.
-
-    The concrete adversary framework lives in :mod:`repro.adversary`; the
-    simulators only rely on this narrow protocol so that tests can plug in
-    trivial stand-ins.
-    """
-
-    @property
-    def byzantine_ids(self) -> frozenset:
-        """Identities of the corrupted nodes (chosen non-adaptively, before the run)."""
-
-    def bind(self, context: "AdversaryContext") -> None:
-        """Attach the simulator-provided context before the run starts."""
-
-    def on_start(self) -> None:
-        """Called once at time zero."""
-
-    def on_deliver(self, byz_id: int, sender: int, message: Message) -> None:
-        """A message from ``sender`` reached the corrupted node ``byz_id``."""
-
-    def on_round(self, round_no: int, observed: Optional[List[SendRecord]]) -> None:
-        """Synchronous scheduler: the adversary's turn for this round.
-
-        ``observed`` contains the messages the correct nodes send this round
-        when the adversary is *rushing*, and ``None`` when it is non-rushing.
-        """
-
-    def observe_send(self, record: SendRecord) -> None:
-        """Asynchronous scheduler: the adversary sees every message when it is sent."""
-
-    def delay_for(self, record: SendRecord) -> Optional[float]:
-        """Asynchronous scheduler: pick this message's delay in ``(0, 1]``.
-
-        Returning ``None`` delegates the choice to the simulator's default
-        delay policy.
-        """
-
-
-class AdversaryContext:
-    """Capabilities granted to the adversary: send as any corrupted node."""
-
-    def __init__(self, simulator: "Simulator", rng: DeterministicRNG) -> None:
-        self._simulator = simulator
-        self.rng = rng
-
-    @property
-    def n(self) -> int:
-        """System size."""
-        return self._simulator.n
-
-    def now(self) -> float:
-        """Current simulation time."""
-        return self._simulator.now()
-
-    def send_as(self, byz_id: int, dest: int, message: Message) -> None:
-        """Send ``message`` to ``dest`` with the (authentic) sender id ``byz_id``.
-
-        Channels are authenticated (Section 2.1): even the adversary can only
-        send under the identities it actually controls, which this method
-        enforces.
-        """
-        if byz_id not in self._simulator.byzantine_ids:
-            raise PermissionError(
-                f"adversary tried to forge sender id {byz_id}, which it does not control"
-            )
-        self._simulator.dispatch_send(byz_id, dest, message)
-
-
-class _NodeContext:
-    """Concrete :class:`~repro.net.node.NodeContext` bound to one correct node."""
-
-    def __init__(self, simulator: "Simulator", node_id: int, rng: DeterministicRNG) -> None:
-        self._simulator = simulator
-        self._node_id = node_id
-        self._rng = rng
-
-    @property
-    def node_id(self) -> int:
-        return self._node_id
-
-    @property
-    def n(self) -> int:
-        return self._simulator.n
-
-    @property
-    def rng(self) -> DeterministicRNG:
-        return self._rng
-
-    def now(self) -> float:
-        return self._simulator.now()
-
-    def send(self, dest: int, message: Message) -> None:
-        if not 0 <= dest < self._simulator.n:
-            raise ValueError(f"destination {dest} outside [0, {self._simulator.n})")
-        self._simulator.dispatch_send(self._node_id, dest, message)
-
-
-class Simulator:
-    """Common state and helpers shared by both schedulers.
-
-    Parameters
-    ----------
-    nodes:
-        The correct protocol participants.  Their ``node_id`` attributes must
-        be distinct and must not collide with the adversary's corrupted ids.
-    n:
-        Total system size (correct + Byzantine).
-    adversary:
-        Optional adversary; when omitted the run is failure-free, which is the
-        setting in which the paper guarantees success deterministically
-        ("unlike many randomized protocols, success is guaranteed when there
-        is no Byzantine fault").
-    seed:
-        Master seed from which every node's private RNG, the adversary's RNG
-        and the scheduler's RNG are derived.
-    size_model:
-        Bit-accounting model; defaults to ``SizeModel(n)``.
-    """
-
-    def __init__(
-        self,
-        nodes: Sequence[Node],
-        n: int,
-        adversary: Optional[AdversaryProtocol] = None,
-        seed: int = 0,
-        size_model: Optional[SizeModel] = None,
-    ) -> None:
-        self.n = n
-        self.seed = seed
-        self.adversary = adversary
-        self.byzantine_ids: frozenset = (
-            frozenset(adversary.byzantine_ids) if adversary is not None else frozenset()
-        )
-        self.nodes: Dict[int, Node] = {}
-        for node in nodes:
-            if node.node_id in self.byzantine_ids:
-                raise ValueError(
-                    f"node {node.node_id} is both a correct node and Byzantine"
-                )
-            if node.node_id in self.nodes:
-                raise ValueError(f"duplicate node id {node.node_id}")
-            self.nodes[node.node_id] = node
-        self.correct_ids: List[int] = sorted(self.nodes)
-
-        self.size_model = size_model or SizeModel(n)
-        self.metrics = MetricsCollector(self.size_model)
-        self._decided: Dict[int, bool] = {i: False for i in self.correct_ids}
-
-        for node_id, node in self.nodes.items():
-            rng = derive_rng(seed, "node", node_id)
-            node.bind(_NodeContext(self, node_id, rng))
-        if adversary is not None:
-            adversary.bind(AdversaryContext(self, derive_rng(seed, "adversary")))
-
-    # ------------------------------------------------------------------
-    # hooks implemented by subclasses
-    # ------------------------------------------------------------------
-    def now(self) -> float:
-        """Current simulation time (round number or event time)."""
-        raise NotImplementedError
-
-    def dispatch_send(self, sender: int, dest: int, message: Message) -> None:
-        """Accept a message for (scheduler-specific) future delivery."""
-        raise NotImplementedError
-
-    def run(self) -> SimulationResult:
-        """Execute the protocol to completion and return the result."""
-        raise NotImplementedError
-
-    # ------------------------------------------------------------------
-    # shared helpers
-    # ------------------------------------------------------------------
-    def deliver(self, sender: int, dest: int, message: Message, bits: int) -> None:
-        """Hand a message to its recipient (correct node or adversary)."""
-        self.metrics.record_delivery(dest, bits)
-        if dest in self.nodes:
-            self.nodes[dest].on_message(sender, message)
-            self.note_decisions(dest)
-        elif self.adversary is not None and dest in self.byzantine_ids:
-            self.adversary.on_deliver(dest, sender, message)
-        # messages to ids that exist in neither set (possible when a protocol
-        # is run on a sub-population) are silently dropped, matching the model
-        # where such a node simply never replies.
-
-    def note_decisions(self, node_id: int) -> None:
-        """Record the decision time of ``node_id`` if it has just decided."""
-        if not self._decided.get(node_id) and self.nodes[node_id].has_decided:
-            self._decided[node_id] = True
-            self.metrics.record_decision(node_id, self.now())
-
-    def all_decided(self) -> bool:
-        """Whether every correct node has decided."""
-        return all(self._decided.values())
-
-    def build_result(self, rounds: Optional[int], span: Optional[float]) -> SimulationResult:
-        """Assemble the :class:`SimulationResult` once execution has stopped."""
-        decisions = {
-            node_id: node.decision
-            for node_id, node in self.nodes.items()
-            if node.has_decided
-        }
-        return SimulationResult(
-            n=self.n,
-            correct_ids=list(self.correct_ids),
-            byzantine_ids=sorted(self.byzantine_ids),
-            decisions=decisions,
-            rounds=rounds,
-            span=span,
-            metrics=self.metrics.summary(restrict_to=self.correct_ids),
-            metrics_all=self.metrics.summary(),
-        )
-
-
-def build_node_ids(n: int, byzantine_ids: Iterable[int]) -> List[int]:
-    """Return the identities of the correct nodes in a system of size ``n``."""
-    byz = set(byzantine_ids)
-    return [i for i in range(n) if i not in byz]
+__all__ = [
+    "AdversaryContext",
+    "AdversaryProtocol",
+    "EventKernel",
+    "SendRecord",
+    "Simulator",
+    "build_node_ids",
+    "_NodeContext",
+]

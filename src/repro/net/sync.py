@@ -13,22 +13,30 @@ adversary comes in two strengths:
 Lemma 8/9 of the paper are stated for the non-rushing case; the rushing case
 falls back to the asynchronous bound of Lemma 6.  Both are selectable here via
 the ``rushing`` flag so the benchmarks can reproduce the distinction.
+
+The class is a thin scheduling policy over
+:class:`~repro.net.kernel.EventKernel`: it decides *when* dispatched messages
+are delivered (at the start of the next round, as one batch) and when the
+adversary takes its turn; all delivery, metrics and decision machinery is the
+kernel's.  The outbox holds grouped ``(sender, dests, message, bits)``
+records, so a multicast costs one append and one metrics update regardless of
+fan-out.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from repro.net.kernel import AdversaryProtocol, EventKernel, SendRecord
 from repro.net.messages import Message, SizeModel
 from repro.net.node import Node
 from repro.net.results import SimulationResult
-from repro.net.simulator import AdversaryProtocol, SendRecord, Simulator
 
 
-class SynchronousSimulator(Simulator):
+class SynchronousSimulator(EventKernel):
     """Round-based execution with a rushing or non-rushing adversary.
 
-    Parameters (in addition to :class:`~repro.net.simulator.Simulator`)
+    Parameters (in addition to :class:`~repro.net.kernel.EventKernel`)
     ----------
     rushing:
         Whether the adversary observes the current round's correct-node
@@ -59,31 +67,30 @@ class SynchronousSimulator(Simulator):
         self.max_rounds = max_rounds
         self.min_rounds = min_rounds
         self._round = 0
-        #: messages accepted this round, delivered at the start of the next one
+        #: grouped (sender, dests, message, bits) records accepted this round,
+        #: delivered as one batch at the start of the next one
         self._outbox: List[tuple] = []
-        self._inbox: List[tuple] = []
-        #: records of correct-node sends this round (for a rushing adversary)
-        self._correct_sends_this_round: List[SendRecord] = []
-        self._in_adversary_turn = False
 
     # ------------------------------------------------------------------
-    # Simulator interface
+    # EventKernel interface (the scheduling policy)
     # ------------------------------------------------------------------
     def now(self) -> float:
         return float(self._round)
 
     def dispatch_send(self, sender: int, dest: int, message: Message) -> None:
-        bits = self.metrics.record_send(sender, dest, message, self.now())
-        self._outbox.append((sender, dest, message, bits))
-        if sender in self.nodes and not self._in_adversary_turn:
-            self._correct_sends_this_round.append(
-                SendRecord(sender, dest, message, self.now())
-            )
+        bits = self.metrics.record_send(sender, dest, message, float(self._round))
+        self._outbox.append((sender, (dest,), message, bits))
+
+    def dispatch_send_many(self, sender: int, dests: Sequence[int], message: Message) -> None:
+        if not dests:
+            return
+        dests = tuple(dests)
+        bits = self.metrics.record_send_many(sender, dests, message, float(self._round))
+        self._outbox.append((sender, dests, message, bits))
 
     def run(self) -> SimulationResult:
         """Execute rounds until every correct node decides or ``max_rounds`` is hit."""
         # Round 0: protocol start.
-        self._correct_sends_this_round = []
         for node_id in self.correct_ids:
             self.nodes[node_id].on_start()
             self.note_decisions(node_id)
@@ -107,12 +114,8 @@ class SynchronousSimulator(Simulator):
     def _advance_round(self) -> None:
         """Deliver last round's messages, then let correct nodes and the adversary act."""
         self._round += 1
-        self._inbox, self._outbox = self._outbox, []
-        self._correct_sends_this_round = []
-
-        for sender, dest, message, bits in self._inbox:
-            self.deliver(sender, dest, message, bits)
-        self._inbox = []
+        inbox, self._outbox = self._outbox, []
+        self.deliver_batch(inbox)
 
         for node_id in self.correct_ids:
             self.nodes[node_id].on_round(self._round)
@@ -120,15 +123,28 @@ class SynchronousSimulator(Simulator):
 
         self._adversary_turn(round_no=self._round, starting=False)
 
+    def _observed_correct_sends(self) -> List[SendRecord]:
+        """This round's correct-node sends, flattened for a rushing adversary.
+
+        Built lazily from the outbox only when the adversary is rushing, so
+        the common (non-rushing or failure-free) hot path never materialises
+        per-message records.  The adversary has not acted yet this round, so
+        every outbox record with a correct sender is a correct-node send.
+        """
+        now = float(self._round)
+        nodes = self.nodes
+        return [
+            SendRecord(sender, dest, message, now)
+            for sender, dests, message, _bits in self._outbox
+            if sender in nodes
+            for dest in dests
+        ]
+
     def _adversary_turn(self, round_no: int, starting: bool) -> None:
         """Give the adversary its (rushing or non-rushing) turn for this round."""
         if self.adversary is None:
             return
-        self._in_adversary_turn = True
-        try:
-            if starting:
-                self.adversary.on_start()
-            observed = list(self._correct_sends_this_round) if self.rushing else None
-            self.adversary.on_round(round_no, observed)
-        finally:
-            self._in_adversary_turn = False
+        if starting:
+            self.adversary.on_start()
+        observed = self._observed_correct_sends() if self.rushing else None
+        self.adversary.on_round(round_no, observed)

@@ -26,9 +26,11 @@ from repro.net.asynchronous import AsynchronousSimulator, DelayPolicy
 from repro.net.results import SimulationResult
 from repro.net.sync import SynchronousSimulator
 
-#: registry of adversary strategies addressable by name in benchmarks and examples
-ADVERSARY_FACTORIES: Dict[str, Callable[..., Adversary]] = {
-    "none": lambda byz, knowledge: None,  # type: ignore[return-value]
+#: registry of adversary strategies addressable by name in benchmarks and examples;
+#: a factory may return ``None`` (the failure-free run), which is why the value
+#: type is ``Optional[Adversary]`` rather than a hack with a type-ignore.
+ADVERSARY_FACTORIES: Dict[str, Callable[..., Optional[Adversary]]] = {
+    "none": lambda byz, knowledge: None,
     "silent": lambda byz, knowledge: SilentAdversary(byz, knowledge),
     "noise": lambda byz, knowledge: RandomNoiseAdversary(byz, knowledge),
     "equivocate": lambda byz, knowledge: EquivocatingPushAdversary(byz, knowledge),

@@ -14,14 +14,25 @@ experiments, that no node is overloaded and that the deviation bound holds.
 
 The same class implements both ``I`` (push quorums) and ``H`` (pull quorums);
 they differ only in the ``name`` key so the two families are independent.
+
+Hot-path note: all per-string state — quorum tuples, ``frozenset`` membership
+views, majority thresholds and the inverse table — lives in one
+:class:`~repro.samplers.tables.QuorumTable` per string, held in a bounded LRU
+cache.  The protocol layer fetches the table once per message via
+:meth:`QuorumSampler.table` and then performs O(1) ``contains``/``threshold``
+lookups, instead of recomputing (or even re-scanning) quorum tuples.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Optional, Tuple
 
-from repro.net.rng import stable_hash
+from repro.net.rng import absorb, hash_prefix
 from repro.samplers.base import SamplerSpec
+from repro.samplers.tables import LRUCache, QuorumTable
+
+#: default number of strings whose tables are retained (LRU) per sampler
+DEFAULT_MAX_CACHED_STRINGS = 64
 
 
 class QuorumSampler:
@@ -34,16 +45,80 @@ class QuorumSampler:
     name:
         Family name (``"I"`` for push quorums, ``"H"`` for pull quorums);
         different names give independent samplers from the same seed.
+    max_cached_strings:
+        Capacity of the per-string table cache.  Eviction is LRU — only the
+        coldest string's table is dropped on overflow, never the whole cache.
     """
 
-    def __init__(self, spec: SamplerSpec, name: str) -> None:
+    def __init__(
+        self,
+        spec: SamplerSpec,
+        name: str,
+        max_cached_strings: int = DEFAULT_MAX_CACHED_STRINGS,
+    ) -> None:
         self.spec = spec
         self.name = name
         self.n = spec.n
         self.quorum_size = min(spec.quorum_size, spec.n)
-        self._quorum_cache: Dict[Tuple[str, int], Tuple[int, ...]] = {}
-        self._inverse_cache: Dict[str, Dict[int, Tuple[int, ...]]] = {}
-        self._max_cached_strings = 64
+        self._tables: LRUCache[str, QuorumTable] = LRUCache(max_cached_strings)
+        # One-slot memo for the most recently requested string: consecutive
+        # messages overwhelmingly concern the same candidate, and the memo
+        # answers them without touching the LRU bookkeeping.
+        self._hot_string: Optional[str] = None
+        self._hot_table: Optional[QuorumTable] = None
+        #: scratch space shared by every protocol engine bound to this sampler
+        #: (all nodes of one run share the sampler suite); engines use it to
+        #: memoise pure per-message facts across the recipients of a multicast
+        self.shared_scratch: dict = {}
+
+    # ------------------------------------------------------------------
+    # table access (the hot-path API)
+    # ------------------------------------------------------------------
+    def table(self, s: str) -> QuorumTable:
+        """Return the (cached) precomputed table for string ``s``.
+
+        Protocol code that performs several lookups for the same string
+        should fetch the table once and query it directly.
+        """
+        if s == self._hot_string:
+            return self._hot_table  # type: ignore[return-value]
+        table = self._tables.get(s)
+        if table is None:
+            table = QuorumTable(self.n, self._make_compute(s))
+            self._tables.put(s, table)
+        self._hot_string = s
+        self._hot_table = table
+        return table
+
+    def _make_compute(self, s: str):
+        """Build the per-string quorum computation with a shared hash prefix.
+
+        ``(seed, name, s)`` is constant for every draw of this string's
+        table, so it is absorbed once; per draw only ``x`` and the counter
+        are hashed on a copy.  Digests are bit-identical to
+        ``stable_hash(seed, name, s, x, counter)``.
+        """
+        prefix = hash_prefix(self.spec.seed, self.name, s)
+        quorum_size = self.quorum_size
+        n = self.n
+
+        def compute(x: int) -> Tuple[int, ...]:
+            x_prefix = prefix.copy()
+            absorb(x_prefix, x)
+            members = []
+            seen = set()
+            counter = 0
+            while len(members) < quorum_size:
+                hasher = x_prefix.copy()
+                absorb(hasher, counter)
+                candidate = int.from_bytes(hasher.digest(), "big") % n
+                counter += 1
+                if candidate not in seen:
+                    seen.add(candidate)
+                    members.append(candidate)
+            return tuple(sorted(members))
+
+        return compute
 
     # ------------------------------------------------------------------
     # forward direction
@@ -54,34 +129,18 @@ class QuorumSampler:
         The result is a sorted tuple of ``d`` distinct node identities and is
         identical on every node evaluating it (shared sampler assumption).
         """
-        key = (s, x)
-        cached = self._quorum_cache.get(key)
-        if cached is not None:
-            return cached
-
-        members: List[int] = []
-        seen = set()
-        counter = 0
-        while len(members) < self.quorum_size:
-            candidate = stable_hash(self.spec.seed, self.name, s, x, counter) % self.n
-            counter += 1
-            if candidate not in seen:
-                seen.add(candidate)
-                members.append(candidate)
-        result = tuple(sorted(members))
-
-        if len(self._quorum_cache) > 4 * self.n * self._max_cached_strings:
-            self._quorum_cache.clear()
-        self._quorum_cache[key] = result
-        return result
+        return self.table(s).quorum(x)
 
     def contains(self, s: str, x: int, member: int) -> bool:
-        """Whether ``member`` belongs to the quorum of ``(s, x)``."""
-        return member in self.quorum(s, x)
+        """Whether ``member`` belongs to the quorum of ``(s, x)`` — O(1)."""
+        return self.table(s).contains(x, member)
 
     def majority_threshold(self, s: str, x: int) -> int:
         """Smallest count that constitutes "more than half" of quorum ``(s, x)``."""
-        return len(self.quorum(s, x)) // 2 + 1
+        return self.table(s).threshold(x)
+
+    #: alias used by the protocol layer; same O(1) precomputed lookup
+    threshold = majority_threshold
 
     # ------------------------------------------------------------------
     # inverse direction
@@ -91,25 +150,11 @@ class QuorumSampler:
 
         The push phase needs this: a node ``y`` holding candidate ``s_y``
         pushes it to exactly the nodes whose push quorum for ``s_y`` contains
-        ``y``.  Computing the inverse costs one pass over all ``n`` nodes and
-        is cached per string.
+        ``y``.  The first call for a string triggers the table's one-pass
+        full build (all ``n`` quorums plus the inverse mapping); subsequent
+        calls are O(1).
         """
-        table = self._inverse_table(s)
-        return table.get(y, ())
-
-    def _inverse_table(self, s: str) -> Dict[int, Tuple[int, ...]]:
-        cached = self._inverse_cache.get(s)
-        if cached is not None:
-            return cached
-        builder: Dict[int, List[int]] = {}
-        for x in range(self.n):
-            for member in self.quorum(s, x):
-                builder.setdefault(member, []).append(x)
-        table = {member: tuple(targets) for member, targets in builder.items()}
-        if len(self._inverse_cache) >= self._max_cached_strings:
-            self._inverse_cache.clear()
-        self._inverse_cache[s] = table
-        return table
+        return self.table(s).inverse_of(y)
 
     def load_of(self, s: str, y: int) -> int:
         """Number of quorums (over all ``x``) for string ``s`` that contain ``y``.
@@ -118,3 +163,11 @@ class QuorumSampler:
         when this exceeds ``a · d``; Lemma 1 requires that no node is.
         """
         return len(self.inverse(s, y))
+
+    # ------------------------------------------------------------------
+    # cache introspection (diagnostics and eviction tests)
+    # ------------------------------------------------------------------
+    @property
+    def cache_info(self) -> LRUCache:
+        """The underlying per-string table cache (hits/misses/evictions)."""
+        return self._tables

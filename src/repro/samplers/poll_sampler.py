@@ -17,61 +17,116 @@ bound of Lemma 6).  Section 4.1 of the paper proves that a uniformly random
 digraph satisfies it with probability ``1 - o(n² 2^{-n})``; our keyed-hash
 construction is such a random digraph, and
 :func:`repro.samplers.properties.property2_holds` checks concrete instances.
+
+Hot-path note: each ``(x, r)`` pair resolves to a cached
+:class:`~repro.samplers.tables.PollEntry` holding the sorted tuple, a
+``frozenset`` membership view and the majority threshold, so the protocol
+layer's ``contains``/``threshold`` checks are O(1).  The cache is a bounded
+LRU (incremental eviction, never a full clear).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Tuple
+from typing import Tuple
 
-from repro.net.rng import stable_hash
+from repro.net.rng import absorb, hash_prefix
 from repro.samplers.base import SamplerSpec
+from repro.samplers.tables import LRUCache, PollEntry
+
+#: default number of (node, label) poll entries retained (LRU)
+DEFAULT_MAX_CACHED_ENTRIES = 200_000
 
 
 class PollSampler:
     """Deterministic map from ``(node, label)`` pairs to poll lists of size ``d``."""
 
-    def __init__(self, spec: SamplerSpec, name: str = "J") -> None:
+    def __init__(
+        self,
+        spec: SamplerSpec,
+        name: str = "J",
+        max_cached_entries: int = DEFAULT_MAX_CACHED_ENTRIES,
+    ) -> None:
         self.spec = spec
         self.name = name
         self.n = spec.n
         self.list_size = min(spec.quorum_size, spec.n)
         self.label_space = spec.label_space
-        self._cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        self._entries: LRUCache[Tuple[int, int], PollEntry] = LRUCache(max_cached_entries)
+        # One-slot memo for the most recently requested (x, r) pair; delivery
+        # batches are grouped by poll, so consecutive lookups usually repeat.
+        self._hot_x = -1
+        self._hot_r = -1
+        self._hot_entry: PollEntry = None  # type: ignore[assignment]
+        # (seed, name) is constant across draws; absorbing it once and copying
+        # yields digests bit-identical to stable_hash(seed, name, x, r, counter).
+        self._prefix = hash_prefix(spec.seed, name)
 
     def random_label(self, rng: random.Random) -> int:
         """Draw a fresh uniformly random label ``r ∈ R`` from a private RNG."""
         return rng.randrange(self.label_space)
 
-    def poll_list(self, x: int, r: int) -> Tuple[int, ...]:
-        """Return the poll list ``J(x, r)`` — a sorted tuple of ``d`` distinct nodes."""
+    # ------------------------------------------------------------------
+    # entry access (the hot-path API)
+    # ------------------------------------------------------------------
+    def entry(self, x: int, r: int) -> PollEntry:
+        """Return the (cached) precomputed entry for ``J(x, r)``.
+
+        Protocol code performing several lookups for the same pair should
+        fetch the entry once and query ``member_set``/``threshold`` directly.
+        """
+        if x == self._hot_x and r == self._hot_r:
+            return self._hot_entry
+        key = (x, r)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._hot_x, self._hot_r, self._hot_entry = x, r, entry
+            return entry
         if not 0 <= r < self.label_space:
             raise ValueError(f"label {r} outside the label space [0, {self.label_space})")
-        key = (x, r)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-
-        members: List[int] = []
+        pair_prefix = self._prefix.copy()
+        absorb(pair_prefix, x)
+        absorb(pair_prefix, r)
+        members = []
         seen = set()
         counter = 0
+        n = self.n
         while len(members) < self.list_size:
-            candidate = stable_hash(self.spec.seed, self.name, x, r, counter) % self.n
+            hasher = pair_prefix.copy()
+            absorb(hasher, counter)
+            candidate = int.from_bytes(hasher.digest(), "big") % n
             counter += 1
             if candidate not in seen:
                 seen.add(candidate)
                 members.append(candidate)
-        result = tuple(sorted(members))
+        entry = PollEntry(tuple(sorted(members)))
+        self._entries.put(key, entry)
+        self._hot_x, self._hot_r, self._hot_entry = x, r, entry
+        return entry
 
-        if len(self._cache) > 200_000:
-            self._cache.clear()
-        self._cache[key] = result
-        return result
+    def poll_list(self, x: int, r: int) -> Tuple[int, ...]:
+        """Return the poll list ``J(x, r)`` — a sorted tuple of ``d`` distinct nodes."""
+        return self.entry(x, r).members
 
     def contains(self, x: int, r: int, member: int) -> bool:
-        """Whether ``member`` belongs to ``J(x, r)``."""
-        return member in self.poll_list(x, r)
+        """Whether ``member`` belongs to ``J(x, r)`` — O(1)."""
+        if x == self._hot_x and r == self._hot_r:  # inline the hot-memo hit
+            return member in self._hot_entry.member_set
+        return member in self.entry(x, r).member_set
 
     def majority_threshold(self, x: int, r: int) -> int:
         """Smallest count that constitutes "more than half" of ``J(x, r)``."""
-        return len(self.poll_list(x, r)) // 2 + 1
+        if x == self._hot_x and r == self._hot_r:
+            return self._hot_entry.threshold
+        return self.entry(x, r).threshold
+
+    #: alias used by the protocol layer; same O(1) precomputed lookup
+    threshold = majority_threshold
+
+    # ------------------------------------------------------------------
+    # cache introspection (diagnostics and eviction tests)
+    # ------------------------------------------------------------------
+    @property
+    def cache_info(self) -> LRUCache:
+        """The underlying entry cache (hits/misses/evictions)."""
+        return self._entries

@@ -1,0 +1,54 @@
+"""Golden-seed engine equivalence tests.
+
+``tests/golden/engine_golden.json`` pins the externally visible outcome of
+the simulation engine — per-node decisions, round/span timing, per-node and
+total bit metrics — for a matrix of (mode, adversary, n, seed) cases, as
+produced by the pre-kernel seed engine.  These tests assert the current
+engine reproduces every pinned value *exactly*, which is what makes kernel
+and sampler refactors provably behavior-preserving.
+
+If a PR intentionally changes engine behaviour, regenerate the fixture with
+``scripts/gen_golden.py`` and call the change out explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.runner import run_aer_experiment
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "engine_golden.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+def _parse_case(key: str):
+    mode_part, adversary, n_part, seed_part = key.split(":")
+    rushing = mode_part.endswith("-rushing")
+    mode = mode_part.replace("-rushing", "")
+    return mode, rushing, adversary, int(n_part[1:]), int(seed_part[1:])
+
+
+@pytest.mark.parametrize("case_key", sorted(GOLDEN), ids=sorted(GOLDEN))
+def test_engine_reproduces_golden_case(case_key):
+    mode, rushing, adversary, n, seed = _parse_case(case_key)
+    expected = GOLDEN[case_key]
+
+    result = run_aer_experiment(
+        n, adversary_name=adversary, mode=mode, rushing=rushing, seed=seed
+    )
+
+    assert {str(i): v for i, v in result.decisions.items()} == expected["decisions"]
+    assert result.rounds == expected["rounds"]
+    assert result.span == expected["span"]
+    assert result.metrics_all.total_messages == expected["total_messages"]
+    assert result.metrics_all.total_bits == expected["total_bits"]
+    assert result.metrics.max_node_bits == expected["max_node_bits"]
+    assert {
+        str(i): b for i, b in result.metrics.per_node_bits.items()
+    } == expected["per_node_bits"]
+    assert {
+        str(i): t for i, t in result.metrics.decision_times.items()
+    } == expected["decision_times"]

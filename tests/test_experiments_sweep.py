@@ -1,0 +1,131 @@
+"""Tests for the experiment-sweep subsystem (plans, runner, persistence, CLI)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    ExperimentPlan,
+    ExperimentRecord,
+    ExperimentSpec,
+    SweepResult,
+    SweepRunner,
+    execute_spec,
+)
+from repro.experiments.cli import main as cli_main
+from repro.runner import run_aer_experiment
+
+SMALL_PLAN = ExperimentPlan(
+    ns=(24,),
+    adversaries=("none", "silent"),
+    modes=("sync",),
+    seeds=(3,),
+)
+
+
+class TestPlan:
+    def test_grid_expansion_order(self):
+        plan = ExperimentPlan(
+            ns=(24, 32), adversaries=("none", "silent"), modes=("sync", "async"), seeds=(0, 1)
+        )
+        specs = plan.specs()
+        assert len(specs) == len(plan) == 16
+        # n-major, then adversary, mode, seed
+        assert specs[0] == ExperimentSpec(n=24, adversary="none", mode="sync", seed=0)
+        assert specs[1].seed == 1
+        assert specs[2].mode == "async"
+        assert specs[8].n == 32
+
+    def test_lists_are_normalised_to_tuples(self):
+        plan = ExperimentPlan(ns=[24], adversaries=["none"], modes=["sync"], seeds=[0])
+        assert plan.ns == (24,)
+
+    def test_extra_specs_are_appended(self):
+        extra = ExperimentSpec(n=48, adversary="cornering", mode="async", seed=9)
+        plan = ExperimentPlan(ns=(24,), extra_specs=(extra,))
+        assert plan.specs()[-1] == extra
+        assert len(plan) == 2
+
+    def test_spec_key_and_roundtrip(self):
+        spec = ExperimentSpec(n=64, adversary="silent", mode="async", seed=4)
+        assert spec.key == "async:silent:n64:s4"
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+        rushing = spec.with_(mode="sync", rushing=True)
+        assert rushing.key == "sync-rushing:silent:n64:s4"
+
+    def test_plan_roundtrip(self):
+        plan = ExperimentPlan(
+            ns=(24,), adversaries=("none",), seeds=(0, 1),
+            extra_specs=(ExperimentSpec(n=32),),
+        )
+        assert ExperimentPlan.from_dict(plan.to_dict()) == plan
+
+
+class TestExecuteSpec:
+    def test_record_matches_direct_run(self):
+        spec = ExperimentSpec(n=24, adversary="none", mode="sync", seed=3)
+        record = execute_spec(spec)
+        result = run_aer_experiment(n=24, adversary_name="none", mode="sync", seed=3)
+        assert record.agreement == result.agreement_reached
+        assert record.rounds == result.rounds
+        assert record.total_messages == result.metrics_all.total_messages
+        assert record.total_bits == result.metrics_all.total_bits
+        assert record.decided_count == len(result.decisions)
+        assert record.correct_count == len(result.correct_ids)
+        assert record.decided_fraction == pytest.approx(1.0)
+        assert record.seconds > 0
+
+    def test_record_roundtrip_and_row(self):
+        record = execute_spec(ExperimentSpec(n=24, seed=3))
+        assert ExperimentRecord.from_dict(record.to_dict()) == record
+        row = record.row()
+        assert row["n"] == 24 and row["agreement"] == 1
+
+
+class TestSweepRunner:
+    def test_serial_and_parallel_agree(self):
+        serial = SweepRunner(SMALL_PLAN, jobs=1).run()
+        parallel = SweepRunner(SMALL_PLAN, jobs=2).run()
+        assert serial.jobs == 1 and parallel.jobs == 2
+        assert len(serial.records) == len(parallel.records) == 2
+        for a, b in zip(serial.records, parallel.records):
+            assert a.spec == b.spec  # plan order preserved under the pool
+            assert a.total_bits == b.total_bits
+            assert a.rounds == b.rounds
+            assert a.agreement == b.agreement
+
+    def test_filter_and_rows(self):
+        sweep = SweepRunner(SMALL_PLAN, jobs=1).run()
+        silent = sweep.filter(adversary="silent")
+        assert [r.spec.adversary for r in silent] == ["silent"]
+        assert len(sweep.rows()) == 2
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        sweep = SweepRunner(SMALL_PLAN, jobs=1).run()
+        path = tmp_path / "sweep.json"
+        sweep.save(str(path))
+        loaded = SweepResult.load(str(path))
+        assert loaded.plan == sweep.plan
+        assert loaded.records == sweep.records
+        assert loaded.jobs == sweep.jobs
+
+
+class TestCLI:
+    def test_run_command(self, capsys):
+        assert cli_main(["run", "--n", "24", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "experiment sync:none:n24:s3" in out
+
+    def test_sweep_command_writes_json(self, tmp_path, capsys):
+        out_path = tmp_path / "out.json"
+        code = cli_main([
+            "sweep", "--ns", "24", "--adversaries", "none", "--modes", "sync",
+            "--seeds", "3", "--jobs", "1", "--out", str(out_path),
+        ])
+        assert code == 0
+        data = json.loads(out_path.read_text(encoding="utf-8"))
+        assert len(data["records"]) == 1
+        assert data["records"][0]["spec"]["n"] == 24
+        assert "sweep of 1 experiments" in capsys.readouterr().out

@@ -41,6 +41,10 @@ class FakeOwner:
     def send(self, dest: int, message) -> None:
         self.sent.append((dest, message))
 
+    def send_many(self, dests, message) -> None:
+        for dest in dests:
+            self.sent.append((dest, message))
+
     def decide(self, value) -> None:
         if self.decision is None:
             self.decision = str(value)
