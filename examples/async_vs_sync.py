@@ -9,7 +9,10 @@ The paper distinguishes three regimes for AER's running time:
   message delays.
 
 This example runs the same scenario under all three regimes (plus a benign
-asynchronous run with random delays) and prints the measured times.
+asynchronous run with random delays) through the registry API: the scheduler
+is the spec's ``mode``, and the asynchronous delay distribution is a *named*
+delay policy (``random``, ``constant``, or one you register with
+``api.register_delay_policy``).
 
 Run with::
 
@@ -20,10 +23,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro import AERConfig, make_scenario, run_aer
-from repro.analysis.experiments import format_table, result_row
-from repro.net.asynchronous import ConstantDelayPolicy
-from repro.runner import make_adversary
+from repro import api
 
 
 def main() -> None:
@@ -32,45 +32,42 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=4)
     args = parser.parse_args()
 
-    config = AERConfig.for_system(args.n, sampler_seed=args.seed)
-    scenario = make_scenario(
-        args.n, config=config, t=args.n // 6, knowledge_fraction=0.78, seed=args.seed
-    )
-    samplers = config.build_samplers()
+    shared = dict(n=args.n, seed=args.seed, t=args.n // 6, knowledge_fraction=0.78)
+    regimes = [
+        (
+            "sync, non-rushing (wrong answers)",
+            dict(adversary="wrong_answer", mode="sync"),
+        ),
+        (
+            "sync, rushing (cornering)",
+            dict(adversary="cornering", mode="sync", rushing=True),
+        ),
+        (
+            "async, random delays",
+            dict(adversary="silent", mode="async", delay_policy="random"),
+        ),
+        (
+            "async, cornering + worst-case delays",
+            dict(
+                adversary="cornering",
+                mode="async",
+                delay_policy="constant",
+                delay_params={"value": 1.0},
+            ),
+        ),
+    ]
 
     rows = []
+    for label, overrides in regimes:
+        result = api.run_experiment("aer", **shared, **overrides)
+        rows.append(api.run_result_row(result, regime=label))
 
-    sync_quiet = run_aer(
-        scenario, config=config, adversary_name="wrong_answer",
-        mode="sync", rushing=False, seed=args.seed, samplers=samplers,
-    )
-    rows.append(result_row(sync_quiet, regime="sync, non-rushing (wrong answers)"))
-
-    sync_rushing = run_aer(
-        scenario, config=config, adversary_name="cornering",
-        mode="sync", rushing=True, seed=args.seed, samplers=samplers,
-    )
-    rows.append(result_row(sync_rushing, regime="sync, rushing (cornering)"))
-
-    async_benign = run_aer(
-        scenario, config=config, adversary_name="silent",
-        mode="async", seed=args.seed, samplers=samplers,
-    )
-    rows.append(result_row(async_benign, regime="async, random delays"))
-
-    async_worst = run_aer(
-        scenario, config=config,
-        adversary=make_adversary("cornering", scenario, config, samplers),
-        mode="async", seed=args.seed, samplers=samplers,
-        delay_policy=ConstantDelayPolicy(1.0),
-    )
-    rows.append(result_row(async_worst, regime="async, cornering + worst-case delays"))
-
-    print(format_table(rows, title=f"AER timing regimes (n={args.n})"))
+    print(api.format_table(rows, title=f"AER timing regimes (n={args.n})"))
     print()
     print("Expected shape: the synchronous non-rushing run finishes in a small,")
     print("n-independent number of rounds; the adversarial asynchronous run takes")
     print("longer (growing slowly with n), but still decides and still on gstring.")
+    print(f"registered delay policies: {', '.join(api.list_delay_policies())}")
 
 
 if __name__ == "__main__":

@@ -1,12 +1,14 @@
-"""Quickstart: run AER once and watch every node learn the global string.
+"""Quickstart: run AER once through the registry API and inspect the result.
 
 This is the smallest end-to-end use of the library:
 
-1. build an *almost-everywhere* input state (most nodes already know a common
-   random string ``gstring``, a sixth of the nodes are Byzantine);
-2. run the AER protocol of the paper under the synchronous scheduler;
-3. check that *every* correct node decided on ``gstring`` and look at what it
-   cost.
+1. ask the :mod:`repro.api` facade for one experiment of the registered
+   ``aer`` protocol (a synthetic almost-everywhere input state is generated
+   from the seed: most nodes already know a common random string ``gstring``,
+   a sixth of the nodes are Byzantine and stay silent);
+2. get back a normalized :class:`~repro.protocols.base.RunResult` — the same
+   record every protocol of the registry returns;
+3. check that *every* correct node decided on ``gstring`` and what it cost.
 
 Run with::
 
@@ -17,7 +19,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro import AERConfig, make_scenario, run_aer
+from repro import api
 
 
 def main() -> None:
@@ -26,29 +28,30 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=1, help="master seed")
     args = parser.parse_args()
 
-    config = AERConfig.for_system(args.n, sampler_seed=args.seed)
-    scenario = make_scenario(
-        args.n,
-        config=config,
+    result = api.run_experiment(
+        "aer",
+        n=args.n,
+        seed=args.seed,
+        adversary="silent",
         t=args.n // 6,
         knowledge_fraction=0.78,
-        seed=args.seed,
     )
-    print(f"system size n             : {scenario.n}")
-    print(f"Byzantine nodes           : {len(scenario.byzantine_ids)}")
-    print(f"nodes knowing gstring     : {len(scenario.knowledgeable_ids)}")
-    print(f"gstring ({config.string_length} bits)        : {scenario.gstring}")
 
-    result = run_aer(scenario, config=config, adversary_name="silent", seed=args.seed)
-
-    print()
-    print(f"correct nodes that decided: {len(result.decisions)}/{len(result.correct_ids)}")
-    print(f"agreement reached         : {result.agreement_reached}")
-    print(f"decided value == gstring  : {result.agreement_value() == scenario.gstring}")
+    # The native SimulationResult (with the full scenario-level detail) stays
+    # reachable through result.raw; the normalized record is protocol-agnostic.
+    print(f"protocol                  : {result.protocol}")
+    print(f"system size n             : {result.n}")
+    print(f"correct nodes that decided: {result.decided_count}/{result.correct_count}")
+    print(f"agreement reached         : {result.agreement}")
+    print(f"decided value == gstring  : {result.extras['decided_gstring'] == 1.0}")
     print(f"synchronous rounds        : {result.rounds}")
-    print(f"amortized bits per node   : {result.metrics.amortized_bits:.0f}")
-    print(f"max per-node bits         : {result.metrics.max_node_bits}")
-    print(f"load imbalance (max/med)  : {result.metrics.load_imbalance:.2f}")
+    print(f"amortized bits per node   : {result.amortized_bits:.0f}")
+    print(f"max per-node bits         : {result.max_node_bits}")
+    print(f"load imbalance (max/med)  : {result.load_imbalance:.2f}")
+    print()
+    print("registered protocols      :", ", ".join(api.list_protocols()))
+    print("try them all              : python -m repro compare --ns "
+          f"{args.n} --protocols {','.join(api.list_protocols())}")
 
 
 if __name__ == "__main__":

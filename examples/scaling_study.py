@@ -1,12 +1,15 @@
 """Scaling study: how AER's cost grows with n compared to the baselines.
 
 A miniature version of the Figure 1a benchmark, intended to run in well under
-a minute: sweep the system size, run AER and the two almost-everywhere-to-
-everywhere baselines on the same scenarios, print the per-node communication
-and time, and fit growth exponents.  The paper's claim is about the *shape*:
-AER's per-node bits should grow roughly poly-logarithmically (small fitted
-power exponent) while the sampled-majority baseline grows like ``√n`` and the
-naive broadcast linearly.
+a minute: one :class:`~repro.experiments.plan.ExperimentPlan` whose
+``protocols`` dimension spans AER and the two almost-everywhere-to-everywhere
+baselines, fanned across worker processes by the sweep runner.  Because all
+three adapters derive their input scenario from the same seed, every row of a
+given ``n`` runs on an *identical* almost-everywhere state.
+
+The paper's claim is about the *shape*: AER's per-node bits should grow
+roughly poly-logarithmically (small fitted power exponent) while the
+sampled-majority baseline grows like ``√n`` and the naive broadcast linearly.
 
 Run with::
 
@@ -17,41 +20,39 @@ from __future__ import annotations
 
 import argparse
 
-from repro import AERConfig, make_scenario, run_aer
+from repro import api
 from repro.analysis import growth_exponent
-from repro.analysis.experiments import format_table, result_row
-from repro.baselines import run_naive_broadcast, run_sample_majority
+
+PROTOCOLS = ("aer", "sample_majority", "naive_broadcast")
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--sizes", type=int, nargs="+", default=[32, 64, 128])
     parser.add_argument("--seed", type=int, default=2)
+    parser.add_argument("--jobs", type=int, default=None, help="worker processes")
     args = parser.parse_args()
 
-    rows = []
-    costs = {"AER": [], "sampled majority": [], "naive broadcast": []}
-    for n in args.sizes:
-        config = AERConfig.for_system(n, sampler_seed=args.seed)
-        scenario = make_scenario(
-            n, config=config, t=n // 6, knowledge_fraction=0.78, seed=args.seed
-        )
-        aer = run_aer(scenario, config=config, adversary_name="silent", seed=args.seed)
-        sample = run_sample_majority(scenario, seed=args.seed)
-        naive = run_naive_broadcast(scenario, seed=args.seed)
-        for label, result in (
-            ("AER", aer),
-            ("sampled majority", sample),
-            ("naive broadcast", naive),
-        ):
-            rows.append(result_row(result, protocol=label))
-            costs[label].append(result.metrics.amortized_bits)
+    plan = api.ExperimentPlan(
+        ns=tuple(args.sizes),
+        protocols=PROTOCOLS,
+        adversaries=("silent",),
+        seeds=(args.seed,),
+        t=None,  # every adapter defaults to t = n // 6
+        knowledge_fraction=0.78,
+    )
+    sweep = api.SweepRunner(plan, jobs=args.jobs).run()
 
-    print(format_table(rows, title="almost-everywhere to everywhere: scaling"))
+    costs = {protocol: [] for protocol in PROTOCOLS}
+    for record in sweep.records:
+        costs[record.spec.protocol].append(record.amortized_bits)
+
+    print(api.format_table(sweep.rows(), title="almost-everywhere to everywhere: scaling"))
     print()
     print("fitted power-law exponents of amortized bits (cost ~ n^b):")
-    for label, series in costs.items():
-        print(f"  {label:18s}: b = {growth_exponent(args.sizes, series):.2f}")
+    for protocol in PROTOCOLS:
+        b = growth_exponent(args.sizes, costs[protocol])
+        print(f"  {protocol:18s}: b = {b:.2f}")
     print()
     print("Expected shape: AER's exponent is the smallest (poly-log growth),")
     print("sampled majority sits near 0.5 + log factors, naive broadcast near 1.")

@@ -13,10 +13,20 @@ This package implements, from scratch and in pure Python:
 * an almost-everywhere agreement substrate in the style of [KSSV06]
   (:mod:`repro.ae`);
 * baseline protocols for the comparisons of Figure 1 (:mod:`repro.baselines`);
-* analysis utilities for the benchmark harness (:mod:`repro.analysis`).
+* analysis utilities for the benchmark harness (:mod:`repro.analysis`);
+* a registry-based public API surface (:mod:`repro.api`) through which
+  protocols, adversaries, delay policies and scenario generators are
+  addressed by name — and extended with one decorator.
 
 Quickstart
 ----------
+>>> from repro import api
+>>> result = api.run_experiment("aer", n=64, seed=1, adversary="wrong_answer")
+>>> result.agreement
+True
+
+The pre-registry entry points remain available:
+
 >>> from repro import run_aer_experiment
 >>> result = run_aer_experiment(n=64, adversary_name="wrong_answer", seed=1)
 >>> result.agreement_reached

@@ -19,6 +19,11 @@ attack (Lemma 6).
 """
 
 from repro.adversary.base import Adversary, AdversaryKnowledge
+from repro.adversary.registry import (
+    ADVERSARIES,
+    register_adversary,
+    resolve_adversary,
+)
 from repro.adversary.corruption import (
     random_corrupt_set,
     quorum_targeting_corrupt_set,
@@ -36,6 +41,9 @@ from repro.adversary.delays import SlowKnowledgeableDelays, TargetedDelayAdversa
 __all__ = [
     "Adversary",
     "AdversaryKnowledge",
+    "ADVERSARIES",
+    "register_adversary",
+    "resolve_adversary",
     "random_corrupt_set",
     "quorum_targeting_corrupt_set",
     "SilentAdversary",

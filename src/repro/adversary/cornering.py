@@ -22,11 +22,13 @@ from __future__ import annotations
 from typing import List, Optional, Set
 
 from repro.adversary.base import Adversary, AdversaryKnowledge
+from repro.adversary.registry import register_adversary
 from repro.core.messages import PollMessage, PullMessage
 from repro.net.simulator import SendRecord
 from repro.net.asynchronous import MIN_DELAY
 
 
+@register_adversary("cornering")
 class CorneringAdversary(Adversary):
     """Overload the poll-list members honest pollers depend on.
 

@@ -12,10 +12,12 @@ from __future__ import annotations
 from typing import Iterable, Optional, Set
 
 from repro.adversary.base import Adversary, AdversaryKnowledge
+from repro.adversary.registry import register_adversary
 from repro.net.asynchronous import MIN_DELAY
 from repro.net.simulator import SendRecord
 
 
+@register_adversary("slow_knowledgeable")
 class SlowKnowledgeableDelays(Adversary):
     """Delay every message *sent by a knowledgeable node* to the maximum.
 

@@ -26,11 +26,13 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.adversary.base import Adversary, AdversaryKnowledge
+from repro.adversary.registry import register_adversary
 from repro.core.messages import PushMessage
 from repro.net.rng import random_bitstring
 from repro.net.simulator import SendRecord
 
 
+@register_adversary("push_flood")
 class PushFloodAdversary(Adversary):
     """Spray random candidate strings at random victims during the push phase."""
 
@@ -63,6 +65,7 @@ class PushFloodAdversary(Adversary):
         """The flood fires once at start; nothing to do per round."""
 
 
+@register_adversary("quorum_flood")
 class QuorumTargetedFloodAdversary(Adversary):
     """Force strings into victims' candidate lists by exploiting corrupt quorum majorities.
 

@@ -1,0 +1,49 @@
+"""The named adversary-strategy registry.
+
+Every concrete strategy registers itself with :func:`register_adversary`, so
+benchmarks, examples and experiment specs can address attacks by name and a
+user-defined attack plugs in with one decorator::
+
+    from repro.adversary.base import Adversary
+    from repro.adversary.registry import register_adversary
+
+    @register_adversary("my_attack")
+    class MyAttack(Adversary):
+        def on_round(self, round_no, observed):
+            ...
+
+A registered factory is called as ``factory(byzantine_ids, knowledge)`` and
+may return ``None`` for the failure-free run (that is how ``"none"`` is
+implemented), which is why resolution goes through
+:func:`resolve_adversary` rather than plain construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.adversary.base import Adversary, AdversaryKnowledge
+from repro.registry import Registry
+
+#: the global adversary registry; values are ``factory(byz_ids, knowledge)``
+#: callables returning ``Optional[Adversary]`` (``None`` == failure-free run)
+ADVERSARIES = Registry("adversary")
+
+
+def register_adversary(name: str, *, replace: bool = False):
+    """Class/function decorator registering an adversary factory under ``name``."""
+    return ADVERSARIES.register(name, replace=replace)
+
+
+def resolve_adversary(
+    name: str,
+    byzantine_ids,
+    knowledge: Optional[AdversaryKnowledge] = None,
+) -> Optional[Adversary]:
+    """Instantiate the adversary registered under ``name`` (``"none"`` → ``None``)."""
+    factory = ADVERSARIES.get(name)
+    return factory(byzantine_ids, knowledge)  # type: ignore[operator]
+
+
+#: the failure-free "adversary": no corrupted node ever acts
+register_adversary("none")(lambda byzantine_ids, knowledge: None)

@@ -12,12 +12,14 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.adversary.base import Adversary, AdversaryKnowledge
+from repro.adversary.registry import register_adversary
 from repro.core.messages import AnswerMessage, PollMessage, PushMessage
 from repro.net.messages import Message
 from repro.net.rng import random_bitstring
 from repro.net.simulator import SendRecord
 
 
+@register_adversary("silent")
 class SilentAdversary(Adversary):
     """Corrupted nodes never send anything — pure crash faults.
 
@@ -27,6 +29,7 @@ class SilentAdversary(Adversary):
     """
 
 
+@register_adversary("noise")
 class RandomNoiseAdversary(Adversary):
     """Corrupted nodes spray uniformly random pushes and answers.
 
@@ -66,6 +69,7 @@ class RandomNoiseAdversary(Adversary):
         self.on_round(0, None)
 
 
+@register_adversary("equivocate")
 class EquivocatingPushAdversary(Adversary):
     """Corrupted nodes push *different* wrong strings to different victims.
 
@@ -103,6 +107,7 @@ class EquivocatingPushAdversary(Adversary):
             return  # the attack fires from on_start already
 
 
+@register_adversary("wrong_answer")
 class WrongAnswerAdversary(Adversary):
     """Corrupted nodes try to make pollers decide a wrong string (Lemma 7 attack).
 

@@ -10,10 +10,15 @@ measured rather than plumbing.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+import statistics
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.net.results import SimulationResult
 from repro.runner import run_aer_experiment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.sweep import ExperimentRecord
+    from repro.protocols.base import RunResult
 
 
 def format_table(rows: Sequence[Mapping[str, object]], title: Optional[str] = None) -> str:
@@ -58,6 +63,64 @@ def result_row(result: SimulationResult, **extra: object) -> Dict[str, object]:
     }
     row.update(extra)
     return row
+
+
+def run_result_row(result: "RunResult", **extra: object) -> Dict[str, object]:
+    """Condense a normalized :class:`~repro.protocols.base.RunResult` into one row."""
+    row: Dict[str, object] = {
+        "protocol": result.protocol,
+        "n": result.n,
+        "decided": f"{result.decided_count}/{result.correct_count}",
+        "agreement": int(result.agreement),
+        "rounds": round(result.rounds, 2) if result.rounds is not None else "-",
+        "span": round(result.span, 2) if result.span is not None else "-",
+        "amortized_bits": round(result.amortized_bits, 1),
+        "max_node_bits": result.max_node_bits,
+        "load_imbalance": round(result.load_imbalance, 2),
+    }
+    row.update(extra)
+    return row
+
+
+def compare_rows(records: Sequence["ExperimentRecord"]) -> List[Dict[str, object]]:
+    """Aggregate sweep records into a Figure-1-style cross-protocol table.
+
+    Records are grouped by ``(n, protocol)`` in first-seen order (plan order
+    keeps that n-major) and aggregated across the remaining dimensions —
+    typically seeds: agreement becomes a rate, the cost metrics become means,
+    and ``max_node_bits`` stays a worst case.
+    """
+    groups: Dict[Tuple[int, str], List["ExperimentRecord"]] = {}
+    for record in records:
+        groups.setdefault((record.spec.n, record.spec.protocol), []).append(record)
+
+    rows: List[Dict[str, object]] = []
+    for (n, protocol), group in groups.items():
+        runs = len(group)
+        times = [
+            r.rounds if r.rounds is not None else r.span
+            for r in group
+            if (r.rounds is not None or r.span is not None)
+        ]
+        rows.append(
+            {
+                "protocol": protocol,
+                "n": n,
+                "runs": runs,
+                "agreement_rate": round(sum(r.agreement for r in group) / runs, 3),
+                "rounds": round(statistics.mean(times), 2) if times else "-",
+                "total_bits": round(statistics.mean(r.total_bits for r in group)),
+                "amortized_bits": round(
+                    statistics.mean(r.amortized_bits for r in group), 1
+                ),
+                "max_node_bits": max(r.max_node_bits for r in group),
+                "load_imbalance": round(
+                    statistics.mean(r.load_imbalance for r in group), 2
+                ),
+                "seconds": round(statistics.mean(r.seconds for r in group), 3),
+            }
+        )
+    return rows
 
 
 def sweep_aer(

@@ -91,7 +91,9 @@ def make_scenario(
     t:
         Number of Byzantine nodes; defaults to ``⌊n/4⌋`` (well inside the
         ``t < (1/3 − ε)n`` bound so the precondition is satisfiable even at
-        small ``n``).
+        small ``n``).  When ``byzantine_ids`` is given and ``t`` is omitted,
+        ``t`` is derived from the explicit corrupt set; giving both with
+        mismatching sizes is an error.
     knowledge_fraction:
         Fraction of *all* nodes that are correct and start with ``gstring``;
         must exceed 1/2.
@@ -113,17 +115,25 @@ def make_scenario(
         config = AERConfig.for_system(n)
     rng = derive_rng(seed, "scenario", n)
 
-    if t is None:
-        t = n // 4
-    if t >= n:
-        raise ValueError("t must be smaller than n")
-
     if byzantine_ids is None:
+        if t is None:
+            t = n // 4
+        if t >= n:
+            raise ValueError("t must be smaller than n")
         byz = frozenset(rng.sample(range(n), t))
     else:
         byz = frozenset(byzantine_ids)
-        if len(byz) != t and t != n // 4:
-            raise ValueError("explicit byzantine_ids conflict with explicit t")
+        if t is None:
+            # An explicit corrupt set fully determines t; deriving it here
+            # (instead of silently defaulting to n // 4) keeps the size checks
+            # below honest.
+            t = len(byz)
+        elif len(byz) != t:
+            raise ValueError(
+                f"explicit byzantine_ids ({len(byz)} nodes) conflict with explicit t={t}"
+            )
+        if t >= n:
+            raise ValueError("t must be smaller than n")
     correct = [i for i in range(n) if i not in byz]
 
     if gstring is None:

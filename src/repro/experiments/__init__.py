@@ -5,9 +5,10 @@ event kernel → orchestration; see ARCHITECTURE.md): it turns single
 simulation runs into first-class *experiments* —
 
 * :class:`~repro.experiments.plan.ExperimentSpec` — one fully described run
-  (n, adversary, mode, seed, scenario knobs), picklable and JSON-round-trippable;
+  (protocol, n, adversary, mode, seed, scenario knobs, protocol params),
+  picklable and JSON-round-trippable;
 * :class:`~repro.experiments.plan.ExperimentPlan` — a grid of specs
-  (n × adversary × mode × seed);
+  (n × protocol × adversary × mode × seed);
 * :class:`~repro.experiments.sweep.SweepRunner` — fans a plan's specs across
   ``multiprocessing`` workers, collects per-run records (metrics + wall
   clock) and persists them as JSON (the format behind ``BENCH_*.json``);
@@ -20,6 +21,7 @@ from repro.experiments.sweep import (
     SweepResult,
     SweepRunner,
     execute_spec,
+    run_sweep,
 )
 
 __all__ = [
@@ -29,4 +31,5 @@ __all__ = [
     "SweepResult",
     "SweepRunner",
     "execute_spec",
+    "run_sweep",
 ]

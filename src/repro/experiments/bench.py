@@ -64,9 +64,9 @@ def run_fixed_sweep(repeats: int = DEFAULT_REPEATS) -> List[Dict[str, object]]:
                 "seed": spec.seed,
                 "seconds": min(times),
                 "seconds_all": times,
-                "agreement_reached": result.agreement_reached,
-                "total_messages": result.metrics_all.total_messages,
-                "total_bits": result.metrics_all.total_bits,
+                "agreement_reached": result.agreement,
+                "total_messages": result.total_messages,
+                "total_bits": result.total_bits,
             }
         )
     return cases

@@ -1,17 +1,38 @@
-"""``python -m repro`` — run single experiments, grid sweeps and benchmarks.
+"""``python -m repro`` — run experiments, grid sweeps, comparisons, benchmarks.
 
 Subcommands
 -----------
 
 ``run``
-    One experiment: ``python -m repro run --n 64 --adversary silent --mode async``.
-``sweep``
-    A grid across multiprocessing workers, optionally persisted as JSON::
+    One experiment of any registered protocol::
 
-        python -m repro sweep --ns 32,64,128 --adversaries none,silent \\
-            --modes sync,async --seeds 0,1,2 --jobs 4 --out sweep.json
+        python -m repro run --n 64 --adversary silent --mode async
+        python -m repro run --n 64 --protocol composed_ba --param strategy=naive
+
+``sweep``
+    A grid across multiprocessing workers — any protocol mix — optionally
+    persisted as JSON::
+
+        python -m repro sweep --ns 32,64,128 --protocols aer,composed_ba \\
+            --adversaries none --modes sync --seeds 0,1,2 --jobs 4 --out sweep.json
+
+``compare``
+    The Figure-1-style cross-protocol table: run every protocol on the same
+    system sizes and seeds, aggregate across seeds, print one row per
+    ``(n, protocol)``::
+
+        python -m repro compare --ns 32,64 --protocols aer,composed_ba,naive_broadcast
+
+``protocols``
+    List the registered protocols, adversaries, delay policies and scenario
+    generators (the extension points of the registry API).
+
 ``bench``
     The fixed kernel benchmark sweep; writes ``BENCH_kernel.json``.
+
+Protocol-specific parameters are passed as repeated ``--param key=value``
+options; values are parsed as JSON when possible (``--param
+delay_params='{"value": 0.5}'``), else kept as strings.
 """
 
 from __future__ import annotations
@@ -19,9 +40,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.experiments import format_table, result_row
+from repro.analysis.experiments import compare_rows, format_table, run_result_row
 from repro.experiments.bench import write_report
 from repro.experiments.plan import ExperimentPlan, ExperimentSpec
 from repro.experiments.sweep import run_sweep
@@ -35,6 +56,33 @@ def _csv_strs(text: str) -> List[str]:
     return [part for part in text.split(",") if part]
 
 
+def _parse_params(pairs: Optional[Sequence[str]]) -> Dict[str, object]:
+    """``["k=v", ...]`` → dict, JSON-decoding each value when possible."""
+    params: Dict[str, object] = {}
+    for pair in pairs or ():
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(f"--param expects key=value, got {pair!r}")
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
+
+
+def _add_shared_spec_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--rushing", action="store_true", help="rushing sync adversary")
+    parser.add_argument("--t", type=int, default=None, help="number of Byzantine nodes")
+    parser.add_argument("--knowledge-fraction", type=float, default=0.78)
+    parser.add_argument("--quorum-multiplier", type=float, default=2.0)
+    parser.add_argument(
+        "--param",
+        action="append",
+        metavar="KEY=VALUE",
+        help="protocol-specific parameter (repeatable; value parsed as JSON if possible)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -44,23 +92,45 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run one experiment and print its summary")
     run.add_argument("--n", type=int, required=True, help="system size")
+    run.add_argument("--protocol", default="aer", help="registered protocol name")
     run.add_argument("--adversary", default="none", help="registered adversary name")
     run.add_argument("--mode", default="sync", choices=["sync", "async"])
-    run.add_argument("--rushing", action="store_true", help="rushing sync adversary")
     run.add_argument("--seed", type=int, default=0)
-    run.add_argument("--knowledge-fraction", type=float, default=0.78)
-    run.add_argument("--quorum-multiplier", type=float, default=2.0)
+    _add_shared_spec_options(run)
 
     sweep = sub.add_parser("sweep", help="run a grid of experiments in parallel")
     sweep.add_argument("--ns", type=_csv_ints, required=True, help="e.g. 32,64,128")
+    sweep.add_argument(
+        "--protocols", type=_csv_strs, default=["aer"], help="e.g. aer,composed_ba"
+    )
     sweep.add_argument("--adversaries", type=_csv_strs, default=["none"])
     sweep.add_argument("--modes", type=_csv_strs, default=["sync"])
     sweep.add_argument("--seeds", type=_csv_ints, default=[0])
-    sweep.add_argument("--rushing", action="store_true")
-    sweep.add_argument("--knowledge-fraction", type=float, default=0.78)
-    sweep.add_argument("--quorum-multiplier", type=float, default=2.0)
+    _add_shared_spec_options(sweep)
     sweep.add_argument("--jobs", type=int, default=None, help="worker processes")
     sweep.add_argument("--out", default=None, help="persist records as JSON here")
+
+    compare = sub.add_parser(
+        "compare",
+        help="Figure-1-style cross-protocol comparison on shared sizes and seeds",
+    )
+    compare.add_argument("--ns", type=_csv_ints, required=True, help="e.g. 32,64")
+    compare.add_argument(
+        "--protocols",
+        type=_csv_strs,
+        default=["aer", "full_ba", "composed_ba", "sample_majority", "naive_broadcast"],
+        help="protocol mix to compare (default: all built-ins)",
+    )
+    compare.add_argument("--seeds", type=_csv_ints, default=[0])
+    compare.add_argument("--adversary", default="none", help="adversary for protocols that take one")
+    _add_shared_spec_options(compare)
+    compare.add_argument("--jobs", type=int, default=None, help="worker processes")
+    compare.add_argument("--out", default=None, help="persist raw records as JSON here")
+
+    protocols = sub.add_parser(
+        "protocols", help="list registered protocols, adversaries, policies, scenarios"
+    )
+    protocols.add_argument("--verbose", action="store_true", help="include descriptions")
 
     bench = sub.add_parser("bench", help="fixed kernel benchmark; writes BENCH_kernel.json")
     bench.add_argument("--out", default="BENCH_kernel.json")
@@ -69,38 +139,50 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    spec = ExperimentSpec(
-        n=args.n,
-        adversary=args.adversary,
-        mode=args.mode,
-        rushing=args.rushing,
-        seed=args.seed,
-        knowledge_fraction=args.knowledge_fraction,
-        quorum_multiplier=args.quorum_multiplier,
-    )
     try:
+        spec = ExperimentSpec(
+            n=args.n,
+            protocol=args.protocol,
+            adversary=args.adversary,
+            mode=args.mode,
+            rushing=args.rushing,
+            seed=args.seed,
+            t=args.t,
+            knowledge_fraction=args.knowledge_fraction,
+            quorum_multiplier=args.quorum_multiplier,
+            params=_parse_params(args.param),
+        )
         result = spec.run()
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(format_table([result_row(result)], title=f"experiment {spec.key}"))
+    print(format_table([run_result_row(result)], title=f"experiment {spec.key}"))
+    if result.extras:
+        print("extras: " + ", ".join(f"{k}={v}" for k, v in sorted(result.extras.items())))
     return 0
+
+
+def _build_plan(args: argparse.Namespace, modes: List[str], adversaries: List[str]) -> ExperimentPlan:
+    return ExperimentPlan(
+        ns=tuple(args.ns),
+        protocols=tuple(args.protocols),
+        adversaries=tuple(adversaries),
+        modes=tuple(modes),
+        seeds=tuple(args.seeds),
+        rushing=args.rushing,
+        t=args.t,
+        knowledge_fraction=args.knowledge_fraction,
+        quorum_multiplier=args.quorum_multiplier,
+        params=_parse_params(args.param),
+    )
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     if not args.ns:
         print("error: --ns must name at least one system size", file=sys.stderr)
         return 2
-    plan = ExperimentPlan(
-        ns=tuple(args.ns),
-        adversaries=tuple(args.adversaries),
-        modes=tuple(args.modes),
-        seeds=tuple(args.seeds),
-        rushing=args.rushing,
-        knowledge_fraction=args.knowledge_fraction,
-        quorum_multiplier=args.quorum_multiplier,
-    )
     try:
+        plan = _build_plan(args, modes=args.modes, adversaries=args.adversaries)
         result = run_sweep(plan, jobs=args.jobs, out=args.out)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -112,6 +194,55 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     print(format_table(result.rows(), title=title))
     if args.out:
         print(f"records written to {args.out}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.protocols import get_protocol
+
+    if not args.ns:
+        print("error: --ns must name at least one system size", file=sys.stderr)
+        return 2
+    try:
+        plan = _build_plan(args, modes=["sync"], adversaries=[args.adversary])
+        # Shared knobs/params apply to the protocols that take them; the
+        # others run with their defaults instead of aborting the comparison.
+        relaxed = ExperimentPlan(
+            ns=(),
+            extra_specs=tuple(
+                get_protocol(spec.protocol).relax_spec(spec) for spec in plan.specs()
+            ),
+        )
+        result = run_sweep(relaxed, jobs=args.jobs, out=args.out)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    title = (
+        f"protocol comparison over ns={','.join(map(str, args.ns))} "
+        f"({len(args.seeds)} seed(s); bits/rounds averaged, max_node_bits worst-case)"
+    )
+    print(format_table(compare_rows(result.records), title=title))
+    if args.out:
+        print(f"records written to {args.out}")
+    return 0
+
+
+def cmd_protocols(args: argparse.Namespace) -> int:
+    from repro.adversary.registry import ADVERSARIES
+    from repro.net.asynchronous import DELAY_POLICIES
+    from repro.protocols import PROTOCOLS, SCENARIOS, get_protocol
+
+    if args.verbose:
+        print("protocols:")
+        for name in PROTOCOLS.names():
+            adapter = get_protocol(name)
+            print(f"  {name:16s} {adapter.description}")
+            print(f"  {'':16s} params: {', '.join(sorted(adapter.params))}")
+    else:
+        print(f"protocols      : {', '.join(PROTOCOLS.names())}")
+    print(f"adversaries    : {', '.join(ADVERSARIES.names())}")
+    print(f"delay policies : {', '.join(DELAY_POLICIES.names())}")
+    print(f"scenarios      : {', '.join(SCENARIOS.names())}")
     return 0
 
 
@@ -128,6 +259,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_run(args)
     if args.command == "sweep":
         return cmd_sweep(args)
+    if args.command == "compare":
+        return cmd_compare(args)
+    if args.command == "protocols":
+        return cmd_protocols(args)
     if args.command == "bench":
         return cmd_bench(args)
     return 2  # pragma: no cover - argparse enforces the choices

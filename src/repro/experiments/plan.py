@@ -1,33 +1,72 @@
 """Experiment specifications and grid plans.
 
-An :class:`ExperimentSpec` pins *everything* a run depends on — the scenario
-knobs and the scheduler — so a spec is a pure function from itself to a
-:class:`~repro.net.results.SimulationResult`.  Specs are frozen dataclasses:
+An :class:`ExperimentSpec` pins *everything* a run depends on — the protocol,
+its parameters, the scenario knobs and the scheduler — so a spec is a pure
+function from itself to a normalized
+:class:`~repro.protocols.base.RunResult`.  Specs are frozen dataclasses:
 picklable (for multiprocessing workers) and JSON-round-trippable (for
 persisted sweep results).
 
+The ``protocol`` field names an adapter in the protocol registry
+(:mod:`repro.protocols`); the common knob fields (``adversary``, ``mode``,
+``rushing``, ``t``, ...) plus the free-form ``params`` dict are validated
+against that adapter's declared parameter space, so a typo'd or unsupported
+parameter fails loudly before any worker is spawned.
+
 An :class:`ExperimentPlan` is the cartesian grid the sweep subsystem runs:
-``ns × adversaries × modes × seeds`` with shared scenario knobs.
+``ns × protocols × adversaries × modes × seeds`` with shared scenario knobs.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+import json
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
 
-from repro.net.results import SimulationResult
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.protocols.base import RunResult
+
+
+def _canonical_params(value) -> str:
+    """Normalize a params mapping to canonical JSON text.
+
+    Specs are frozen, hashable and compared by value, so the params field is
+    stored as one canonical string (sorted keys, no whitespace): two specs
+    describing the same run compare equal no matter how their params were
+    spelled, and every value round-trips through sweep JSON exactly as given
+    (lists stay lists, dicts stay dicts).
+    """
+    if isinstance(value, str):
+        parsed = json.loads(value)
+        if not isinstance(parsed, dict):
+            raise ValueError(f"params must be a mapping, got {parsed!r}")
+    elif isinstance(value, Mapping):
+        parsed = dict(value)
+    else:
+        parsed = dict(value)  # accept ``(("key", value), ...)`` pair sequences
+    try:
+        return json.dumps(parsed, sort_keys=True, separators=(",", ":"))
+    except TypeError as exc:
+        raise ValueError(
+            f"protocol params must be JSON-serializable (specs round-trip "
+            f"through sweep files): {exc}"
+        ) from None
 
 
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """One fully described AER experiment run.
+    """One fully described experiment run of any registered protocol.
 
-    The fields mirror :func:`repro.runner.run_aer_experiment`; ``label`` is a
-    free-form tag carried through to records (useful to mark series in a
-    benchmark table).
+    The knob fields (``adversary`` ... ``quorum_multiplier``) mirror
+    :func:`repro.runner.run_aer_experiment` and are shared by several
+    protocols; ``params`` carries protocol-specific extras (e.g.
+    ``{"strategy": "naive"}`` for ``composed_ba``).  ``label`` is a free-form
+    tag carried through to records (useful to mark series in a benchmark
+    table).
     """
 
     n: int
+    protocol: str = "aer"
     adversary: str = "none"
     mode: str = "sync"
     rushing: bool = False
@@ -37,34 +76,65 @@ class ExperimentSpec:
     wrong_candidate_mode: str = "random"
     quorum_multiplier: float = 2.0
     label: str = ""
+    #: protocol-specific extras as canonical JSON text (construct with a plain
+    #: dict — ``params={"strategy": "naive"}`` — and read via params_dict())
+    params: str = "{}"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", _canonical_params(self.params))
 
     @property
     def key(self) -> str:
-        """Compact unique-ish identifier used in logs and result files."""
+        """Compact unique-ish identifier used in logs and result files.
+
+        AER keys keep their historical (protocol-less) format so recorded
+        benchmark baselines remain addressable across PRs.
+        """
         rushing = "-rushing" if self.rushing else ""
-        return f"{self.mode}{rushing}:{self.adversary}:n{self.n}:s{self.seed}"
+        base = f"{self.mode}{rushing}:{self.adversary}:n{self.n}:s{self.seed}"
+        if self.protocol == "aer":
+            return base
+        return f"{self.protocol}:{base}"
 
-    def run(self) -> SimulationResult:
-        """Execute this spec and return the simulation result."""
-        from repro.runner import run_aer_experiment
+    def params_dict(self) -> Dict[str, object]:
+        """The protocol-specific extras as a plain dict."""
+        return json.loads(self.params)
 
-        return run_aer_experiment(
-            n=self.n,
-            adversary_name=self.adversary,
-            mode=self.mode,
-            rushing=self.rushing,
-            seed=self.seed,
-            t=self.t,
-            knowledge_fraction=self.knowledge_fraction,
-            wrong_candidate_mode=self.wrong_candidate_mode,
-            quorum_multiplier=self.quorum_multiplier,
-        )
+    def validate(self) -> None:
+        """Raise ``ValueError`` if this spec cannot be run as described."""
+        from repro.protocols import get_protocol
+
+        if self.mode not in ("sync", "async"):
+            raise ValueError(f"unknown mode {self.mode!r} (expected 'sync' or 'async')")
+        if self.rushing and self.mode == "async":
+            raise ValueError(
+                "rushing=True is only meaningful under mode='sync'; the "
+                "asynchronous adversary is inherently rushing"
+            )
+        get_protocol(self.protocol).validate(self)
+
+    def run(self) -> "RunResult":
+        """Validate and execute this spec; return the normalized run result."""
+        from repro.protocols import get_protocol
+
+        self.validate()
+        return get_protocol(self.protocol).run(self)
 
     def to_dict(self) -> Dict[str, object]:
-        return asdict(self)
+        data = asdict(self)
+        data["params"] = self.params_dict()
+        return data
 
     @staticmethod
-    def from_dict(data: Dict[str, object]) -> "ExperimentSpec":
+    def from_dict(data: Mapping[str, object]) -> "ExperimentSpec":
+        data = dict(data)
+        known = {f.name for f in fields(ExperimentSpec)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown experiment spec key(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
         return ExperimentSpec(**data)  # type: ignore[arg-type]
 
     def with_(self, **changes) -> "ExperimentSpec":
@@ -74,13 +144,18 @@ class ExperimentSpec:
 
 @dataclass(frozen=True)
 class ExperimentPlan:
-    """A grid of experiment specs: ``ns × adversaries × modes × seeds``.
+    """A grid of experiment specs: ``ns × protocols × adversaries × modes × seeds``.
 
-    Expansion order is deterministic (n-major, then adversary, mode, seed),
-    so record lists line up across runs of the same plan.
+    Expansion order is deterministic (n-major, then protocol, adversary,
+    mode, seed), so record lists line up across runs of the same plan.
+    ``params`` is shared by every generated spec (protocol-specific extras).
+    ``rushing`` applies to the grid's sync-mode specs only — a mixed
+    ``modes=("sync", "async")`` grid stays runnable because the asynchronous
+    adversary is inherently rushing anyway.
     """
 
     ns: Tuple[int, ...]
+    protocols: Tuple[str, ...] = ("aer",)
     adversaries: Tuple[str, ...] = ("none",)
     modes: Tuple[str, ...] = ("sync",)
     seeds: Tuple[int, ...] = (0,)
@@ -90,33 +165,40 @@ class ExperimentPlan:
     wrong_candidate_mode: str = "random"
     quorum_multiplier: float = 2.0
     label: str = ""
+    #: protocol-specific extras shared by every generated spec (canonical
+    #: JSON text; construct with a plain dict)
+    params: str = "{}"
     #: explicit extra specs appended after the grid (escape hatch for
     #: irregular sweeps that still want the runner/persistence machinery)
     extra_specs: Tuple[ExperimentSpec, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         # Accept lists/generators for convenience, store tuples (hashability).
-        for name in ("ns", "adversaries", "modes", "seeds", "extra_specs"):
+        for name in ("ns", "protocols", "adversaries", "modes", "seeds", "extra_specs"):
             value = getattr(self, name)
             if not isinstance(value, tuple):
                 object.__setattr__(self, name, tuple(value))
+        object.__setattr__(self, "params", _canonical_params(self.params))
 
     def specs(self) -> List[ExperimentSpec]:
         """Expand the grid into the ordered list of specs to run."""
         grid = [
             ExperimentSpec(
                 n=n,
+                protocol=protocol,
                 adversary=adversary,
                 mode=mode,
-                rushing=self.rushing,
+                rushing=self.rushing and mode == "sync",
                 seed=seed,
                 t=self.t,
                 knowledge_fraction=self.knowledge_fraction,
                 wrong_candidate_mode=self.wrong_candidate_mode,
                 quorum_multiplier=self.quorum_multiplier,
                 label=self.label,
+                params=self.params,
             )
             for n in self.ns
+            for protocol in self.protocols
             for adversary in self.adversaries
             for mode in self.modes
             for seed in self.seeds
@@ -124,24 +206,41 @@ class ExperimentPlan:
         grid.extend(self.extra_specs)
         return grid
 
+    def validate(self) -> None:
+        """Validate every spec of the grid (cheap; no run is started)."""
+        for spec in self.specs():
+            spec.validate()
+
     def __len__(self) -> int:
         return (
-            len(self.ns) * len(self.adversaries) * len(self.modes) * len(self.seeds)
+            len(self.ns)
+            * len(self.protocols)
+            * len(self.adversaries)
+            * len(self.modes)
+            * len(self.seeds)
             + len(self.extra_specs)
         )
 
     def to_dict(self) -> Dict[str, object]:
         data = asdict(self)
+        data["params"] = json.loads(self.params)
         data["extra_specs"] = [spec.to_dict() for spec in self.extra_specs]
         return data
 
     @staticmethod
-    def from_dict(data: Dict[str, object]) -> "ExperimentPlan":
+    def from_dict(data: Mapping[str, object]) -> "ExperimentPlan":
         data = dict(data)
+        known = {f.name for f in fields(ExperimentPlan)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown experiment plan key(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
         data["extra_specs"] = tuple(
             ExperimentSpec.from_dict(spec) for spec in data.get("extra_specs", ())
         )
-        for name in ("ns", "adversaries", "modes", "seeds"):
+        for name in ("ns", "protocols", "adversaries", "modes", "seeds"):
             if name in data:
                 data[name] = tuple(data[name])
         return ExperimentPlan(**data)  # type: ignore[arg-type]

@@ -14,7 +14,7 @@ import json
 import multiprocessing
 import os
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 from repro.experiments.plan import ExperimentPlan, ExperimentSpec
@@ -26,7 +26,9 @@ class ExperimentRecord:
 
     Everything a benchmark table or a cross-PR trajectory needs, flattened to
     JSON-friendly scalars: the spec itself, wall-clock seconds, decision
-    outcome and the paper's metrics.
+    outcome and the paper's metrics.  The metric columns come from the
+    normalized :class:`~repro.protocols.base.RunResult`, so records of
+    *different protocols* share one schema (and one JSON file).
     """
 
     spec: ExperimentSpec
@@ -34,7 +36,7 @@ class ExperimentRecord:
     agreement: bool
     decided_count: int
     correct_count: int
-    rounds: Optional[int]
+    rounds: Optional[float]
     span: Optional[float]
     max_decision_time: Optional[float]
     total_messages: int
@@ -43,6 +45,13 @@ class ExperimentRecord:
     max_node_bits: int
     median_node_bits: float
     load_imbalance: float
+    #: protocol-specific scalars (e.g. knowledge_after_ae for compositions)
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def protocol(self) -> str:
+        """The protocol this record was produced by."""
+        return self.spec.protocol
 
     @property
     def decided_fraction(self) -> float:
@@ -55,6 +64,7 @@ class ExperimentRecord:
         """One flat table row (for ``format_table`` and benchmark reports)."""
         spec = self.spec
         return {
+            "protocol": spec.protocol,
             "n": spec.n,
             "adversary": spec.adversary,
             "mode": spec.mode + ("-rushing" if spec.rushing else ""),
@@ -86,22 +96,22 @@ def execute_spec(spec: ExperimentSpec) -> ExperimentRecord:
     start = time.perf_counter()
     result = spec.run()
     seconds = time.perf_counter() - start
-    metrics = result.metrics
     return ExperimentRecord(
         spec=spec,
         seconds=seconds,
-        agreement=result.agreement_reached,
-        decided_count=len(result.decisions),
-        correct_count=len(result.correct_ids),
+        agreement=result.agreement,
+        decided_count=result.decided_count,
+        correct_count=result.correct_count,
         rounds=result.rounds,
         span=result.span,
-        max_decision_time=metrics.max_decision_time,
-        total_messages=result.metrics_all.total_messages,
-        total_bits=result.metrics_all.total_bits,
-        amortized_bits=metrics.amortized_bits,
-        max_node_bits=metrics.max_node_bits,
-        median_node_bits=metrics.median_node_bits,
-        load_imbalance=metrics.load_imbalance,
+        max_decision_time=result.max_decision_time,
+        total_messages=result.total_messages,
+        total_bits=result.total_bits,
+        amortized_bits=result.amortized_bits,
+        max_node_bits=result.max_node_bits,
+        median_node_bits=result.median_node_bits,
+        load_imbalance=result.load_imbalance,
+        extras=dict(result.extras),
     )
 
 
@@ -180,8 +190,15 @@ class SweepRunner:
         return max(1, min(os.cpu_count() or 1, spec_count))
 
     def run(self) -> SweepResult:
-        """Execute every spec of the plan; records come back in plan order."""
+        """Execute every spec of the plan; records come back in plan order.
+
+        Every spec is validated against its protocol adapter *before* any
+        worker starts, so a bad parameter fails fast instead of half-way
+        through a long sweep.
+        """
         specs = self.plan.specs()
+        for spec in specs:
+            spec.validate()
         jobs = self.resolve_jobs(len(specs))
         start = time.perf_counter()
         if jobs == 1 or len(specs) <= 1:

@@ -37,9 +37,28 @@ from repro.net.messages import Message, SizeModel
 from repro.net.node import Node
 from repro.net.results import SimulationResult
 from repro.net.rng import derive_rng
+from repro.registry import Registry
 
 #: smallest delay any message may have; keeps event times strictly increasing
 MIN_DELAY = 1e-3
+
+#: named delay-policy registry; values are ``factory(**params) -> DelayPolicy``
+DELAY_POLICIES = Registry("delay policy")
+
+
+def register_delay_policy(name: str, *, replace: bool = False):
+    """Decorator registering a delay-policy factory (usually the class itself)."""
+    return DELAY_POLICIES.register(name, replace=replace)
+
+
+def make_delay_policy(name: str, **params) -> "DelayPolicy":
+    """Instantiate the delay policy registered under ``name``.
+
+    ``params`` are passed to the registered factory, e.g.
+    ``make_delay_policy("constant", value=0.5)``.
+    """
+    factory = DELAY_POLICIES.get(name)
+    return factory(**params)  # type: ignore[operator]
 
 
 class DelayPolicy:
@@ -50,6 +69,7 @@ class DelayPolicy:
         raise NotImplementedError
 
 
+@register_delay_policy("constant")
 class ConstantDelayPolicy(DelayPolicy):
     """Every message takes exactly ``value`` time units (default: the maximum, 1.0)."""
 
@@ -62,6 +82,7 @@ class ConstantDelayPolicy(DelayPolicy):
         return self.value
 
 
+@register_delay_policy("random")
 class RandomDelayPolicy(DelayPolicy):
     """Delays drawn uniformly from ``[low, high] ⊆ (0, 1]`` — a benign network."""
 

@@ -1,0 +1,45 @@
+"""Protocol registry: one spec/sweep/CLI surface for every runnable protocol.
+
+This package defines the :class:`~repro.protocols.base.ProtocolAdapter`
+contract and registers the built-in protocols (``aer``, ``full_ba``,
+``composed_ba``, ``sample_majority``, ``naive_broadcast``) so that
+experiment specs, the sweep runner and the ``python -m repro`` CLI address
+any of them by name and get back one normalized
+:class:`~repro.protocols.base.RunResult` record.
+
+Sibling registries plug into the same surface:
+
+* adversaries — :mod:`repro.adversary.registry` (``@register_adversary``);
+* delay policies — :mod:`repro.net.asynchronous` (``@register_delay_policy``);
+* scenario generators — :mod:`repro.protocols.scenarios`
+  (``@register_scenario``).
+"""
+
+from repro.protocols.base import (
+    PROTOCOLS,
+    ProtocolAdapter,
+    RunResult,
+    get_protocol,
+    list_protocols,
+    register_protocol,
+)
+from repro.protocols.scenarios import (
+    SCENARIOS,
+    make_scenario_by_name,
+    register_scenario,
+)
+
+# Importing the module registers the built-in adapters.
+from repro.protocols import builtin as _builtin  # noqa: F401
+
+__all__ = [
+    "PROTOCOLS",
+    "ProtocolAdapter",
+    "RunResult",
+    "get_protocol",
+    "list_protocols",
+    "register_protocol",
+    "SCENARIOS",
+    "make_scenario_by_name",
+    "register_scenario",
+]

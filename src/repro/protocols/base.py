@@ -1,0 +1,324 @@
+"""The protocol-adapter contract and the normalized run result.
+
+The repo implements several protocols with heterogeneous native result types
+(:class:`~repro.net.results.SimulationResult` for single-stage runs,
+:class:`~repro.core.ba.BAResult` / ``ComposedBAResult`` for two-stage
+compositions).  To compare them in one Figure-1-style table — and to fan any
+mix of them across sweep workers with one JSON schema — every protocol is
+wrapped in a :class:`ProtocolAdapter` that returns a :class:`RunResult`: one
+flat record with the paper's metrics columns (bits, rounds, per-node load,
+agreement), regardless of how the underlying protocol reports them.
+
+Adding a protocol is one class::
+
+    from repro.protocols import ProtocolAdapter, RunResult, register_protocol
+
+    @register_protocol
+    class MyProtocol(ProtocolAdapter):
+        name = "my_protocol"
+        params = {"t": None, "fanout": 4}
+
+        def run(self, spec):
+            p = self.resolve_params(spec)
+            result = ...  # run it
+            return RunResult.from_simulation(self.name, result)
+
+after which ``ExperimentSpec(n=64, protocol="my_protocol")``, the sweep
+runner and the ``python -m repro {run,sweep,compare}`` CLI all work with it.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import asdict, dataclass, field, fields
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Tuple
+
+from repro.net.results import SimulationResult
+from repro.registry import Registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.experiments.plan import ExperimentSpec
+
+#: the global protocol registry; values are ProtocolAdapter *instances*
+PROTOCOLS = Registry("protocol")
+
+
+def register_protocol(cls):
+    """Class decorator: instantiate the adapter and register it under ``cls.name``."""
+    PROTOCOLS.register(cls.name, cls())
+    return cls
+
+
+def get_protocol(name: str) -> "ProtocolAdapter":
+    """Return the adapter registered under ``name`` (``ValueError`` if unknown)."""
+    return PROTOCOLS.get(name)  # type: ignore[return-value]
+
+
+def list_protocols() -> list:
+    """Sorted names of all registered protocols."""
+    return PROTOCOLS.names()
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One protocol run, normalized to the paper's comparison columns.
+
+    Whatever the protocol (single-stage AER, a two-stage BA composition, a
+    baseline), the same fields mean the same thing, so records of different
+    protocols can share a table, a JSON file and a sweep.
+
+    Attributes
+    ----------
+    protocol:
+        Registry name of the protocol that produced this result.
+    agreement:
+        Every correct node decided, and on the same value.
+    rounds / span:
+        Synchronous rounds (summed across stages for compositions) and
+        normalized asynchronous completion time (``None`` where inapplicable).
+    total_messages / total_bits:
+        Totals over *all* traffic, including Byzantine senders.
+    amortized_bits:
+        Correct-node total bits divided by ``n`` — the paper's amortized
+        communication complexity.
+    max_node_bits / median_node_bits / load_imbalance:
+        Per-node load distribution over correct nodes (stage-summed node-wise
+        for compositions), behind Figure 1a's "Load-Balanced" row.
+    extras:
+        Protocol-specific scalars (e.g. ``knowledge_after_ae`` for the
+        compositions); JSON-safe.
+    raw:
+        The protocol's native result object; excluded from equality and
+        serialization.
+    """
+
+    protocol: str
+    n: int
+    agreement: bool
+    decided_count: int
+    correct_count: int
+    rounds: Optional[float]
+    span: Optional[float]
+    max_decision_time: Optional[float]
+    total_messages: int
+    total_bits: int
+    amortized_bits: float
+    max_node_bits: int
+    median_node_bits: float
+    load_imbalance: float
+    extras: Dict[str, object] = field(default_factory=dict)
+    raw: object = field(default=None, compare=False, repr=False)
+
+    # -- aliases kept for parity with SimulationResult consumers ------------
+    @property
+    def agreement_reached(self) -> bool:
+        """Alias of :attr:`agreement` (the SimulationResult spelling)."""
+        return self.agreement
+
+    @property
+    def decided_fraction(self) -> float:
+        """Fraction of correct nodes that decided."""
+        if not self.correct_count:
+            return 0.0
+        return self.decided_count / self.correct_count
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict (drops :attr:`raw`)."""
+        data = asdict(self)
+        data.pop("raw", None)
+        return data
+
+    @staticmethod
+    def from_dict(data: Mapping[str, object]) -> "RunResult":
+        known = {f.name for f in fields(RunResult)}
+        return RunResult(**{k: v for k, v in data.items() if k in known})  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # builders from the native result types
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_simulation(
+        protocol: str,
+        result: SimulationResult,
+        extras: Optional[Dict[str, object]] = None,
+    ) -> "RunResult":
+        """Normalize a single-stage :class:`SimulationResult`."""
+        metrics = result.metrics
+        return RunResult(
+            protocol=protocol,
+            n=result.n,
+            agreement=result.agreement_reached,
+            decided_count=len(result.decisions),
+            correct_count=len(result.correct_ids),
+            rounds=result.rounds,
+            span=result.span,
+            max_decision_time=metrics.max_decision_time,
+            total_messages=result.metrics_all.total_messages,
+            total_bits=result.metrics_all.total_bits,
+            amortized_bits=metrics.amortized_bits,
+            max_node_bits=metrics.max_node_bits,
+            median_node_bits=metrics.median_node_bits,
+            load_imbalance=metrics.load_imbalance,
+            extras=dict(extras or {}),
+            raw=result,
+        )
+
+    @staticmethod
+    def from_stages(
+        protocol: str,
+        stages: Tuple[SimulationResult, ...],
+        raw: object = None,
+        extras: Optional[Dict[str, object]] = None,
+    ) -> "RunResult":
+        """Normalize a multi-stage composition (e.g. ae-stage + everywhere-stage).
+
+        Totals are summed across stages; per-node loads are added node-wise
+        (both stages run on the same identities) before taking the max and
+        median; agreement and decisions are those of the *final* stage.
+        """
+        if not stages:
+            raise ValueError("a composed run needs at least one stage")
+        final = stages[-1]
+        n = final.n
+        rounds = 0.0
+        for stage in stages:
+            rounds += (
+                stage.rounds
+                if stage.rounds is not None
+                else (stage.span if stage.span is not None else 0.0)
+            )
+        combined: Dict[int, int] = {}
+        for stage in stages:
+            for node_id, bits in stage.metrics.per_node_bits.items():
+                combined[node_id] = combined.get(node_id, 0) + bits
+        loads = sorted(combined.values())
+        max_node_bits = loads[-1] if loads else 0
+        median_node_bits = float(statistics.median(loads)) if loads else 0.0
+        total_correct_bits = sum(stage.metrics.total_bits for stage in stages)
+        return RunResult(
+            protocol=protocol,
+            n=n,
+            agreement=final.agreement_reached,
+            decided_count=len(final.decisions),
+            correct_count=len(final.correct_ids),
+            rounds=rounds,
+            span=final.span,
+            max_decision_time=final.metrics.max_decision_time,
+            total_messages=sum(s.metrics_all.total_messages for s in stages),
+            total_bits=sum(s.metrics_all.total_bits for s in stages),
+            amortized_bits=total_correct_bits / n,
+            max_node_bits=max_node_bits,
+            median_node_bits=median_node_bits,
+            load_imbalance=max_node_bits / max(1.0, median_node_bits),
+            extras=dict(extras or {}),
+            raw=raw,
+        )
+
+
+class ProtocolAdapter:
+    """Contract every runnable protocol implements.
+
+    Class attributes declare the adapter's public surface:
+
+    ``name``
+        Registry name (also the ``--protocol`` CLI value).
+    ``description``
+        One-line summary shown by the CLI.
+    ``params``
+        Mapping of accepted parameter names to their defaults.  A spec may
+        set these either through its first-class knob fields (``adversary``,
+        ``mode``, ``rushing``, ``t``, ...) or through its free-form
+        ``params`` dict; anything not declared here is rejected by
+        :meth:`validate`.
+    ``modes``
+        Scheduler modes the protocol supports (``"sync"`` and/or ``"async"``).
+    """
+
+    name: str = ""
+    description: str = ""
+    params: Mapping[str, object] = {}
+    modes: Tuple[str, ...] = ("sync",)
+
+    #: spec knob fields that route into the protocol parameter space; their
+    #: spec-level defaults, used to detect "was this knob actually set?"
+    _KNOB_DEFAULTS: Dict[str, object] = {
+        "adversary": "none",
+        "mode": "sync",
+        "rushing": False,
+        "t": None,
+        "knowledge_fraction": 0.78,
+        "wrong_candidate_mode": "random",
+        "quorum_multiplier": 2.0,
+    }
+
+    # ------------------------------------------------------------------
+    # validation and parameter resolution
+    # ------------------------------------------------------------------
+    def validate(self, spec: "ExperimentSpec") -> None:
+        """Reject specs that set parameters this protocol does not understand.
+
+        A knob field left at its spec-level default is always fine (that is
+        what lets one plan mix protocols with different parameter spaces);
+        a *non-default* knob or any explicit ``params`` entry must be
+        declared in :attr:`params`.
+        """
+        if spec.mode not in self.modes:
+            raise ValueError(
+                f"protocol {self.name!r} does not support mode {spec.mode!r} "
+                f"(supported: {', '.join(self.modes)})"
+            )
+        for knob, default in self._KNOB_DEFAULTS.items():
+            if knob in self.params:
+                continue
+            if getattr(spec, knob) != default:
+                raise ValueError(
+                    f"protocol {self.name!r} does not accept parameter {knob!r} "
+                    f"(accepted: {', '.join(sorted(self.params))})"
+                )
+        for key in spec.params_dict():
+            if key not in self.params:
+                raise ValueError(
+                    f"unknown parameter {key!r} for protocol {self.name!r} "
+                    f"(accepted: {', '.join(sorted(self.params))})"
+                )
+
+    def relax_spec(self, spec: "ExperimentSpec") -> "ExperimentSpec":
+        """Drop whatever this protocol does not accept back to the defaults.
+
+        The cross-protocol ``compare`` flow shares one set of knobs (e.g.
+        ``adversary="silent"``) across a protocol mix; protocols that do not
+        take a given knob or param should run with their defaults rather
+        than abort the whole comparison.  Plain ``sweep``/``run`` keep the
+        strict :meth:`validate` behaviour.
+        """
+        changes: Dict[str, object] = {
+            knob: default
+            for knob, default in self._KNOB_DEFAULTS.items()
+            if knob not in self.params and getattr(spec, knob) != default
+        }
+        kept_params = {
+            key: value for key, value in spec.params_dict().items() if key in self.params
+        }
+        if kept_params != spec.params_dict():
+            changes["params"] = kept_params
+        return spec.with_(**changes) if changes else spec
+
+    def resolve_params(self, spec: "ExperimentSpec") -> Dict[str, object]:
+        """Merge adapter defaults, spec knob fields and spec extras.
+
+        Precedence (lowest to highest): adapter default, spec knob field,
+        explicit ``spec.params`` entry.
+        """
+        resolved: Dict[str, object] = dict(self.params)
+        for knob in self._KNOB_DEFAULTS:
+            if knob in resolved:
+                resolved[knob] = getattr(spec, knob)
+        resolved.update(spec.params_dict())
+        return resolved
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, spec: "ExperimentSpec") -> RunResult:
+        """Execute the spec and return the normalized result."""
+        raise NotImplementedError

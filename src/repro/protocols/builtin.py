@@ -1,0 +1,304 @@
+"""Built-in protocol adapters: AER, the full BA composition, and the baselines.
+
+One adapter per runnable protocol of the repo, all returning the normalized
+:class:`~repro.protocols.base.RunResult`:
+
+* ``aer`` — the paper's almost-everywhere-to-everywhere protocol (Section 3);
+* ``full_ba`` — the headline two-stage BA composition (ae-substrate + AER);
+* ``composed_ba`` — ae-substrate + a baseline everywhere stage (Figure 1b's
+  ``O~(√n)`` and ``Ω(n²)`` columns, selected by the ``strategy`` param);
+* ``sample_majority`` — the KLST11-style load-balanced baseline, standalone;
+* ``naive_broadcast`` — the all-to-all broadcast baseline, standalone.
+
+The ``aer``, ``sample_majority`` and ``naive_broadcast`` adapters draw their
+input scenario from the same generator with the same seed, so a cross-protocol
+``compare`` runs every protocol on *identical* almost-everywhere states.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.ba import BAConfig, BAProtocol
+from repro.core.config import AERConfig
+from repro.core.scenario import AERScenario
+from repro.net.asynchronous import DelayPolicy, make_delay_policy
+from repro.net.results import SimulationResult
+from repro.protocols.base import ProtocolAdapter, RunResult, register_protocol
+from repro.protocols.scenarios import make_scenario_by_name
+
+
+def _gstring_extras(result: SimulationResult, scenario: AERScenario) -> Dict[str, object]:
+    """Scalars every scenario-driven protocol reports alongside the metrics."""
+    return {
+        "scenario_knowledge_fraction": round(scenario.knowledge_fraction_of_all, 4),
+        "decided_gstring": round(result.fraction_decided(scenario.gstring), 4),
+    }
+
+
+def _resolve_delay_policy(params: Dict[str, object]) -> Optional[DelayPolicy]:
+    name = params.get("delay_policy")
+    if not name:
+        return None
+    policy_params = dict(params.get("delay_params") or {})  # type: ignore[call-overload]
+    return make_delay_policy(str(name), **policy_params)
+
+
+@register_protocol
+class AERProtocolAdapter(ProtocolAdapter):
+    """The paper's AER protocol on a named scenario generator."""
+
+    name = "aer"
+    description = "AER almost-everywhere-to-everywhere agreement (the paper's Section 3)"
+    modes = ("sync", "async")
+    params = {
+        "adversary": "none",
+        "mode": "sync",
+        "rushing": False,
+        "t": None,
+        "knowledge_fraction": 0.78,
+        "wrong_candidate_mode": "random",
+        "quorum_multiplier": 2.0,
+        "scenario": "synthetic",
+        "delay_policy": None,
+        "delay_params": {},
+        "max_rounds": 64,
+    }
+
+    def validate(self, spec) -> None:
+        super().validate(spec)
+        if spec.mode == "sync" and dict(spec.params_dict()).get("delay_policy"):
+            raise ValueError(
+                "delay_policy only applies to mode='async' (sync rounds have no delays)"
+            )
+
+    def run(self, spec) -> RunResult:
+        # The parameter resolution below mirrors repro.runner.run_aer_experiment
+        # call for call, so the default path stays byte-identical to it (the
+        # golden tests pin that path); the scenario generator and the delay
+        # policy are the two extension points the plain runner does not have.
+        from repro.runner import make_adversary, run_aer
+
+        p = self.resolve_params(spec)
+        n, seed = spec.n, spec.seed
+        t = p["t"] if p["t"] is not None else max(1, n // 6)
+        config = AERConfig.for_system(
+            n, sampler_seed=seed, quorum_multiplier=p["quorum_multiplier"]
+        )
+        scenario = make_scenario_by_name(
+            str(p["scenario"]),
+            n,
+            config,
+            seed,
+            t=t,
+            knowledge_fraction=p["knowledge_fraction"],
+            wrong_candidate_mode=p["wrong_candidate_mode"],
+        )
+        samplers = config.build_samplers()
+        adversary = make_adversary(str(p["adversary"]), scenario, config, samplers)
+        result = run_aer(
+            scenario,
+            config=config,
+            adversary=adversary,
+            mode=str(p["mode"]),
+            rushing=bool(p["rushing"]),
+            seed=seed,
+            max_rounds=int(p["max_rounds"]),  # type: ignore[call-overload]
+            delay_policy=_resolve_delay_policy(p),
+            samplers=samplers,
+        )
+        return RunResult.from_simulation(self.name, result, _gstring_extras(result, scenario))
+
+
+@register_protocol
+class FullBAAdapter(ProtocolAdapter):
+    """The headline composition: ae-substrate + AER (Figure 1b, column "BA")."""
+
+    name = "full_ba"
+    description = "full Byzantine Agreement: committee-tree ae-stage composed with AER"
+    modes = ("sync", "async")
+    params = {
+        "adversary": "none",
+        "mode": "sync",
+        "rushing": False,
+        "t": None,
+        "quorum_multiplier": 2.0,
+        "ae_committee_multiplier": 2.0,
+        "max_rounds": 64,
+    }
+
+    def run(self, spec) -> RunResult:
+        from repro.runner import make_adversary
+
+        p = self.resolve_params(spec)
+        config = BAConfig(
+            n=spec.n,
+            t=p["t"],  # type: ignore[arg-type]
+            seed=spec.seed,
+            aer_mode=str(p["mode"]),
+            rushing=bool(p["rushing"]),
+            quorum_multiplier=float(p["quorum_multiplier"]),  # type: ignore[arg-type]
+            ae_committee_multiplier=float(p["ae_committee_multiplier"]),  # type: ignore[arg-type]
+            max_rounds=int(p["max_rounds"]),  # type: ignore[call-overload]
+        )
+        aer_adversary_factory = None
+        adversary_name = str(p["adversary"])
+        if adversary_name != "none":
+            def aer_adversary_factory(scenario, aer_config, samplers):
+                return make_adversary(adversary_name, scenario, aer_config, samplers)
+
+        result = BAProtocol(config, aer_adversary_factory=aer_adversary_factory).run()
+        extras = {
+            "knowledge_after_ae": round(result.knowledge_fraction_after_ae, 4),
+            "decided_gstring": round(
+                result.aer_result.fraction_decided(result.gstring), 4
+            ),
+            "ae_rounds": result.ae_result.rounds,
+            "aer_rounds": result.aer_result.rounds,
+        }
+        return RunResult.from_stages(
+            self.name, (result.ae_result, result.aer_result), raw=result, extras=extras
+        )
+
+
+@register_protocol
+class ComposedBAAdapter(ProtocolAdapter):
+    """ae-substrate + a baseline everywhere stage (the Figure 1b comparison columns)."""
+
+    name = "composed_ba"
+    description = (
+        "BA composed from the ae-stage and a baseline everywhere stage "
+        "(strategy: sample_majority | naive)"
+    )
+    modes = ("sync",)
+    params = {
+        "t": None,
+        "strategy": "sample_majority",
+        "max_rounds": 64,
+    }
+
+    def run(self, spec) -> RunResult:
+        from repro.baselines.composed_ba import run_composed_ba
+
+        p = self.resolve_params(spec)
+        result = run_composed_ba(
+            spec.n,
+            strategy=str(p["strategy"]),
+            t=p["t"],  # type: ignore[arg-type]
+            seed=spec.seed,
+            max_rounds=int(p["max_rounds"]),  # type: ignore[call-overload]
+        )
+        extras = {
+            "strategy": str(p["strategy"]),
+            "knowledge_after_ae": round(result.scenario.knowledge_fraction_of_all, 4),
+            "decided_gstring": round(
+                result.everywhere_result.fraction_decided(result.gstring), 4
+            ),
+            "ae_rounds": result.ae_result.rounds,
+        }
+        return RunResult.from_stages(
+            self.name,
+            (result.ae_result, result.everywhere_result),
+            raw=result,
+            extras=extras,
+        )
+
+
+class _ScenarioBaselineAdapter(ProtocolAdapter):
+    """Shared machinery of the standalone scenario-driven baselines."""
+
+    modes = ("sync",)
+    params = {
+        "adversary": "none",
+        "t": None,
+        "knowledge_fraction": 0.78,
+        "wrong_candidate_mode": "random",
+        "scenario": "synthetic",
+        "max_rounds": 16,
+    }
+
+    def _scenario(self, spec, p) -> AERScenario:
+        n, seed = spec.n, spec.seed
+        t = p["t"] if p["t"] is not None else max(1, n // 6)
+        # Same config/scenario derivation as the AER adapter, so cross-protocol
+        # comparisons run on identical almost-everywhere input states.
+        config = AERConfig.for_system(n, sampler_seed=seed)
+        scenario = make_scenario_by_name(
+            str(p["scenario"]),
+            n,
+            config,
+            seed,
+            t=t,
+            knowledge_fraction=p["knowledge_fraction"],
+            wrong_candidate_mode=p["wrong_candidate_mode"],
+        )
+        return scenario
+
+    def _adversary(self, spec, p, scenario: AERScenario):
+        """Resolve the adversary knob against the baseline's scenario.
+
+        The registered strategies are written against AER's message types;
+        under a baseline the protocol-specific reactions simply never fire,
+        while the generic behaviours (silence, noise floods of push/answer
+        messages) attack the baseline's vote counting for real.
+        """
+        name = str(p["adversary"])
+        if name == "none":
+            return None
+        from repro.runner import make_adversary
+
+        config = AERConfig.for_system(spec.n, sampler_seed=spec.seed)
+        return make_adversary(name, scenario, config, config.build_samplers())
+
+
+@register_protocol
+class SampleMajorityAdapter(_ScenarioBaselineAdapter):
+    """KLST11-style sampled-majority baseline (the ``O~(√n)`` row of Figure 1a)."""
+
+    name = "sample_majority"
+    description = "load-balanced sampled-majority baseline (KLST11-style, O~(sqrt n))"
+    params = {**_ScenarioBaselineAdapter.params, "sample_multiplier": 1.0}
+
+    def run(self, spec) -> RunResult:
+        from repro.baselines.sample_majority import (
+            SampleMajorityConfig,
+            run_sample_majority,
+        )
+
+        p = self.resolve_params(spec)
+        scenario = self._scenario(spec, p)
+        config = SampleMajorityConfig.for_system(
+            spec.n,
+            string_length=len(scenario.gstring),
+            sample_multiplier=float(p["sample_multiplier"]),  # type: ignore[arg-type]
+        )
+        result = run_sample_majority(
+            scenario,
+            config=config,
+            adversary=self._adversary(spec, p, scenario),
+            seed=spec.seed,
+            max_rounds=int(p["max_rounds"]),  # type: ignore[call-overload]
+        )
+        return RunResult.from_simulation(self.name, result, _gstring_extras(result, scenario))
+
+
+@register_protocol
+class NaiveBroadcastAdapter(_ScenarioBaselineAdapter):
+    """All-to-all broadcast baseline (the ``Ω(n²)`` row of Figure 1)."""
+
+    name = "naive_broadcast"
+    description = "naive all-to-all broadcast baseline (quadratic total bits)"
+    params = {**_ScenarioBaselineAdapter.params, "max_rounds": 8}
+
+    def run(self, spec) -> RunResult:
+        from repro.baselines.naive_broadcast import run_naive_broadcast
+
+        p = self.resolve_params(spec)
+        scenario = self._scenario(spec, p)
+        result = run_naive_broadcast(
+            scenario,
+            adversary=self._adversary(spec, p, scenario),
+            seed=spec.seed,
+            max_rounds=int(p["max_rounds"]),  # type: ignore[call-overload]
+        )
+        return RunResult.from_simulation(self.name, result, _gstring_extras(result, scenario))

@@ -1,0 +1,117 @@
+"""Named scenario generators: where a protocol's input state comes from.
+
+The almost-everywhere-to-everywhere protocols (AER and the two baselines) all
+consume an :class:`~repro.core.scenario.AERScenario`.  The registry makes the
+*source* of that scenario a named, pluggable choice:
+
+* ``synthetic`` — :func:`repro.core.scenario.make_scenario`: the corrupt set,
+  ``gstring`` and the knowledgeable set are drawn directly from the seed.
+  This is the default and what every golden test pins.
+* ``from_ae`` — actually run the committee-tree almost-everywhere substrate
+  (:mod:`repro.ae`) and convert its outcome, so AER (or a baseline) runs on a
+  *realistically generated* almost-everywhere state instead of a synthesized
+  one.
+
+A generator is called as ``generator(n, config, seed, **kwargs)`` and must
+return an ``AERScenario``.  Register custom ones with
+:func:`register_scenario`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import AERConfig
+from repro.core.scenario import AERScenario, make_scenario
+from repro.registry import Registry
+
+#: named scenario-generator registry
+SCENARIOS = Registry("scenario generator")
+
+
+def register_scenario(name: str, *, replace: bool = False):
+    """Decorator registering a scenario generator under ``name``."""
+    return SCENARIOS.register(name, replace=replace)
+
+
+def make_scenario_by_name(
+    name: str, n: int, config: AERConfig, seed: int, **kwargs
+) -> AERScenario:
+    """Build a scenario with the generator registered under ``name``."""
+    generator = SCENARIOS.get(name)
+    return generator(n, config, seed, **kwargs)  # type: ignore[operator]
+
+
+@register_scenario("synthetic")
+def synthetic_scenario(
+    n: int,
+    config: AERConfig,
+    seed: int,
+    t: Optional[int] = None,
+    knowledge_fraction: float = 0.78,
+    wrong_candidate_mode: str = "random",
+    **_ignored,
+) -> AERScenario:
+    """Draw the almost-everywhere state directly from the seed (the default)."""
+    return make_scenario(
+        n,
+        config=config,
+        t=t,
+        knowledge_fraction=knowledge_fraction,
+        wrong_candidate_mode=wrong_candidate_mode,
+        seed=seed,
+    )
+
+
+@register_scenario("from_ae")
+def ae_generated_scenario(
+    n: int,
+    config: AERConfig,
+    seed: int,
+    t: Optional[int] = None,
+    ae_committee_multiplier: float = 2.0,
+    max_rounds: int = 64,
+    **_ignored,
+) -> AERScenario:
+    """Run the committee-tree almost-everywhere substrate and convert its outcome.
+
+    The corrupt set is drawn exactly as the composed-BA runs draw it, so a
+    protocol run on this scenario is the second stage of a real composition
+    rather than a synthetic experiment.  The returned scenario is *not*
+    validated: whether the substrate achieved the ``> 1/2`` knowledge
+    precondition is itself an experimental outcome.
+    """
+    # Imported lazily: repro.ae sits beside (not below) this layer.
+    from repro.ae.committees import CommitteeTree
+    from repro.ae.config import AEConfig
+    from repro.ae.protocol import FINALIZE_ROUND, build_ae_nodes, scenario_from_ae_run
+    from repro.net.messages import SizeModel
+    from repro.net.rng import derive_rng
+    from repro.net.sync import SynchronousSimulator
+
+    if t is None:
+        t = max(1, n // 6)
+    rng = derive_rng(seed, "scenario-from-ae", n)
+    byzantine_ids = frozenset(rng.sample(range(n), t))
+
+    ae_defaults = AEConfig.for_system(
+        n, seed=seed, committee_multiplier=ae_committee_multiplier
+    )
+    ae_config = AEConfig(
+        n=n,
+        committee_size=ae_defaults.committee_size,
+        string_length=config.string_length,
+        seed=seed,
+    )
+    tree = CommitteeTree(ae_config)
+    ae_nodes = build_ae_nodes(ae_config, byzantine_ids, tree=tree)
+    simulator = SynchronousSimulator(
+        nodes=ae_nodes,
+        n=n,
+        seed=seed,
+        max_rounds=max_rounds,
+        min_rounds=FINALIZE_ROUND + 1,
+        size_model=SizeModel(n=n),
+    )
+    simulator.run()
+    return scenario_from_ae_run(ae_nodes, n, byzantine_ids, config.string_length)

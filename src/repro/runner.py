@@ -8,38 +8,23 @@ back.  Everything is a pure function of the explicit seed.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Optional
 
+# Importing the package registers every built-in strategy with the registry.
+import repro.adversary  # noqa: F401
 from repro.adversary.base import Adversary, AdversaryKnowledge
-from repro.adversary.cornering import CorneringAdversary
-from repro.adversary.delays import SlowKnowledgeableDelays
-from repro.adversary.flooding import PushFloodAdversary, QuorumTargetedFloodAdversary
-from repro.adversary.strategies import (
-    EquivocatingPushAdversary,
-    RandomNoiseAdversary,
-    SilentAdversary,
-    WrongAnswerAdversary,
-)
+from repro.adversary.registry import ADVERSARIES, resolve_adversary
 from repro.core.config import AERConfig, SamplerSuite
 from repro.core.scenario import AERScenario, build_aer_nodes, make_scenario
 from repro.net.asynchronous import AsynchronousSimulator, DelayPolicy
 from repro.net.results import SimulationResult
 from repro.net.sync import SynchronousSimulator
 
-#: registry of adversary strategies addressable by name in benchmarks and examples;
-#: a factory may return ``None`` (the failure-free run), which is why the value
-#: type is ``Optional[Adversary]`` rather than a hack with a type-ignore.
-ADVERSARY_FACTORIES: Dict[str, Callable[..., Optional[Adversary]]] = {
-    "none": lambda byz, knowledge: None,
-    "silent": lambda byz, knowledge: SilentAdversary(byz, knowledge),
-    "noise": lambda byz, knowledge: RandomNoiseAdversary(byz, knowledge),
-    "equivocate": lambda byz, knowledge: EquivocatingPushAdversary(byz, knowledge),
-    "wrong_answer": lambda byz, knowledge: WrongAnswerAdversary(byz, knowledge),
-    "push_flood": lambda byz, knowledge: PushFloodAdversary(byz, knowledge),
-    "quorum_flood": lambda byz, knowledge: QuorumTargetedFloodAdversary(byz, knowledge),
-    "cornering": lambda byz, knowledge: CorneringAdversary(byz, knowledge),
-    "slow_knowledgeable": lambda byz, knowledge: SlowKnowledgeableDelays(byz, knowledge),
-}
+#: back-compat alias: the adversary registry's read-only mapping view.  New
+#: strategies are added with ``@repro.adversary.register_adversary("name")``
+#: rather than by mutating this dict; a factory may return ``None`` (the
+#: failure-free run), which is why the value type is ``Optional[Adversary]``.
+ADVERSARY_FACTORIES = ADVERSARIES.mapping
 
 
 def make_adversary(
@@ -49,13 +34,8 @@ def make_adversary(
     samplers: SamplerSuite,
 ) -> Optional[Adversary]:
     """Instantiate an adversary strategy by registry name (``"none"`` → no adversary)."""
-    try:
-        factory = ADVERSARY_FACTORIES[name]
-    except KeyError as exc:
-        known = ", ".join(sorted(ADVERSARY_FACTORIES))
-        raise ValueError(f"unknown adversary {name!r}; known strategies: {known}") from exc
     knowledge = AdversaryKnowledge(config=config, samplers=samplers, scenario=scenario)
-    return factory(scenario.byzantine_ids, knowledge)
+    return resolve_adversary(name, scenario.byzantine_ids, knowledge)
 
 
 def run_aer(
@@ -134,6 +114,8 @@ def run_aer_experiment(
     knowledge_fraction: float = 0.78,
     wrong_candidate_mode: str = "random",
     quorum_multiplier: float = 2.0,
+    delay_policy: Optional[DelayPolicy] = None,
+    max_rounds: int = 64,
 ) -> SimulationResult:
     """One-call experiment: synthesise a scenario, pick an adversary, run AER.
 
@@ -170,5 +152,7 @@ def run_aer_experiment(
         mode=mode,
         rushing=rushing,
         seed=seed,
+        max_rounds=max_rounds,
+        delay_policy=delay_policy,
         samplers=samplers,
     )

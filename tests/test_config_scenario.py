@@ -98,6 +98,21 @@ class TestMakeScenario:
         assert scenario.byzantine_ids == frozenset({0, 1, 2, 3})
         assert 0 not in scenario.candidates
 
+    def test_byzantine_ids_without_t_derives_t(self):
+        # t must come from the explicit corrupt set, not the n // 4 default
+        scenario = make_scenario(32, byzantine_ids=[1, 2, 3], seed=0)
+        assert scenario.byzantine_ids == frozenset({1, 2, 3})
+        assert len(scenario.correct_ids) == 29
+
+    def test_byzantine_ids_conflicting_t_rejected(self):
+        with pytest.raises(ValueError, match="conflict"):
+            make_scenario(32, t=5, byzantine_ids=[0, 1, 2], seed=0)
+
+    def test_byzantine_ids_conflicting_with_default_sized_t_rejected(self):
+        # t == n // 4 used to slip through an escape hatch in the check
+        with pytest.raises(ValueError, match="conflict"):
+            make_scenario(32, t=8, byzantine_ids=[0, 1, 2], seed=0)
+
     def test_wrong_candidate_default_mode(self):
         scenario = make_scenario(64, wrong_candidate_mode="default", seed=4)
         non_knowing = [
