@@ -24,6 +24,10 @@ Shape expectations asserted below: AER's synchronous round count is constant
 in ``n``; AER's amortized bits grow sub-linearly (and more slowly than the
 naive linear reference); the baseline stays load-balanced while AER under the
 quorum-flooding attack does not.
+
+The grid and the table rows come from the ``figure1a`` report section, so
+this benchmark and the corresponding EXPERIMENTS.md section share one row
+source.
 """
 
 from __future__ import annotations
@@ -31,44 +35,31 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.complexity import growth_exponent
-from repro.analysis.experiments import result_row
-from repro.core.config import AERConfig
-from repro.core.scenario import make_scenario
-from repro.baselines import run_sample_majority
-from repro.runner import make_adversary, run_aer, run_aer_experiment
+from repro.report.sections import FIGURE1A, label_series
+from repro.runner import run_aer_experiment
 
 SYNC_SIZES = [32, 64, 128]
 ASYNC_SIZES = [32, 64]
 SEED = 2
 
+PLAN = FIGURE1A.plan_for(SYNC_SIZES, ASYNC_SIZES, seeds=(SEED,))
+
 
 @pytest.fixture(scope="module")
-def figure1a_rows():
-    rows = []
-    series = {"klst_bits": [], "aer_bits": [], "aer_rounds": [], "klst_rounds": []}
-    for n in SYNC_SIZES:
-        config = AERConfig.for_system(n, sampler_seed=SEED)
-        scenario = make_scenario(n, config=config, t=n // 6, knowledge_fraction=0.78, seed=SEED)
-        samplers = config.build_samplers()
+def figure1a_sweep(run_plan):
+    return run_plan(PLAN)
 
-        klst = run_sample_majority(scenario, seed=SEED)
-        rows.append(result_row(klst, protocol="KLST-style (sampled majority)", model="sync"))
-        series["klst_bits"].append(klst.metrics.amortized_bits)
-        series["klst_rounds"].append(klst.rounds or 0)
 
-        aer_sync = run_aer(scenario, config=config, adversary_name="wrong_answer",
-                           seed=SEED, samplers=samplers)
-        rows.append(result_row(aer_sync, protocol="AER", model="sync non-rushing"))
-        series["aer_bits"].append(aer_sync.metrics.amortized_bits)
-        series["aer_rounds"].append(aer_sync.rounds or 0)
-
-        flood = make_adversary("quorum_flood", scenario, config, samplers)
-        aer_flood = run_aer(scenario, config=config, adversary=flood, seed=SEED, samplers=samplers)
-        rows.append(result_row(aer_flood, protocol="AER (quorum-flood attack)", model="sync non-rushing"))
-
-    for n in ASYNC_SIZES:
-        result = run_aer_experiment(n=n, adversary_name="cornering", mode="async", seed=SEED)
-        rows.append(result_row(result, protocol="AER", model="async (cornering)"))
+@pytest.fixture(scope="module")
+def figure1a_rows(figure1a_sweep):
+    records = figure1a_sweep.records
+    rows = [FIGURE1A.record_row(record) for record in records]
+    series = {
+        "klst_bits": label_series(records, "klst", lambda r: r.amortized_bits),
+        "klst_rounds": label_series(records, "klst", lambda r: r.rounds or 0),
+        "aer_bits": label_series(records, "aer-sync", lambda r: r.amortized_bits),
+        "aer_rounds": label_series(records, "aer-sync", lambda r: r.rounds or 0),
+    }
     return rows, series
 
 

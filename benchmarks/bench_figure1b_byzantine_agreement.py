@@ -7,7 +7,7 @@ Paper's table (Figure 1b) compares BA protocols by time and bits:
 Reproduction: run, on the same system sizes and corrupt sets,
 
 * **BA** — the paper's composition (committee-tree almost-everywhere stage +
-  AER), via :class:`repro.core.ba.BAProtocol`;
+  AER), via the ``full_ba`` protocol adapter;
 * **ae + sampled majority** — the KLST-style composition (the previous state
   of the art the paper improves on);
 * **ae + all-to-all broadcast** — the quadratic-communication class.
@@ -15,6 +15,10 @@ Reproduction: run, on the same system sizes and corrupt sets,
 Shape expectations: every composition reaches agreement; the naive
 composition's amortized bits grow essentially linearly in ``n`` while BA's
 grow sub-linearly; BA's total round count stays small and flat.
+
+The grid and the table rows come from the ``figure1b`` report section, so
+this benchmark and the corresponding EXPERIMENTS.md section share one row
+source.
 """
 
 from __future__ import annotations
@@ -22,40 +26,34 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.complexity import growth_exponent
-from repro.baselines import run_composed_ba
-from repro.core.ba import BAConfig, BAProtocol
+from repro.experiments import execute_spec
+from repro.report.sections import FIGURE1B, label_series
 
 SIZES = [48, 96, 144]
 SEED = 5
 
+PLAN = FIGURE1B.plan_for(SIZES, seeds=(SEED,))
+
 
 @pytest.fixture(scope="module")
-def figure1b_rows():
-    rows = []
-    series = {"ba_bits": [], "naive_bits": [], "klst_bits": [], "ba_rounds": []}
-    for n in SIZES:
-        ba = BAProtocol(BAConfig(n=n, seed=SEED)).run()
-        row = dict(protocol="BA (ae + AER)", **ba.row())
-        rows.append(row)
-        series["ba_bits"].append(ba.amortized_bits)
-        series["ba_rounds"].append(ba.total_rounds)
-
-        klst = run_composed_ba(n, strategy="sample_majority", seed=SEED)
-        rows.append(dict(protocol="ae + sampled majority (KLST-style)", **klst.row()))
-        series["klst_bits"].append(klst.amortized_bits)
-
-        naive = run_composed_ba(n, strategy="naive", seed=SEED)
-        rows.append(dict(protocol="ae + all-to-all broadcast", **naive.row()))
-        series["naive_bits"].append(naive.amortized_bits)
+def figure1b_rows(run_plan):
+    sweep = run_plan(PLAN)
+    records = sweep.records
+    rows = [FIGURE1B.record_row(record) for record in records]
+    series = {
+        "ba_bits": label_series(records, "ba", lambda r: r.amortized_bits),
+        "ba_rounds": label_series(records, "ba", lambda r: r.rounds or 0),
+        "klst_bits": label_series(records, "klst", lambda r: r.amortized_bits),
+        "naive_bits": label_series(records, "naive", lambda r: r.amortized_bits),
+    }
     return rows, series
 
 
 def test_benchmark_single_ba_run(benchmark):
     """Wall-clock of one full BA run at n=96."""
-    result = benchmark.pedantic(
-        lambda: BAProtocol(BAConfig(n=96, seed=SEED)).run(), rounds=1, iterations=1
-    )
-    assert result.agreement_reached
+    spec = next(s for s in PLAN.specs() if s.n == 96 and s.label == "ba")
+    record = benchmark.pedantic(lambda: execute_spec(spec), rounds=1, iterations=1)
+    assert record.agreement
 
 
 def test_every_composition_reaches_agreement(figure1b_rows):

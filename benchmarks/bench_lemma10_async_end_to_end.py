@@ -8,7 +8,9 @@ than ``n`` and stays within a small constant of the ``log n / log log n``
 reference; messages per node grow sub-linearly.
 
 The sweep runs as an :class:`repro.experiments.ExperimentPlan` on the
-parallel sweep subsystem (one worker per grid point).
+parallel sweep subsystem (one worker per grid point); the plan and the table
+rows come from the ``lemma10`` report section, so this benchmark and the
+corresponding EXPERIMENTS.md section share one row source.
 """
 
 from __future__ import annotations
@@ -18,39 +20,21 @@ import math
 import pytest
 
 from repro.analysis.complexity import growth_exponent
-from repro.experiments import ExperimentPlan
+from repro.report.sections import LEMMA10
 from repro.runner import run_aer_experiment
 
 SIZES = [32, 64, 96]
 SEED = 8
 
-PLAN = ExperimentPlan(
-    ns=tuple(SIZES),
-    adversaries=("slow_knowledgeable",),
-    modes=("async",),
-    seeds=(SEED,),
-    label="lemma10",
-)
+PLAN = LEMMA10.plan_for(SIZES, seeds=(SEED,))
 
 
 @pytest.fixture(scope="module")
 def lemma10_rows(run_plan):
     sweep = run_plan(PLAN)
-    rows = []
-    spans, messages = [], []
-    for record in sweep.records:
-        n = record.spec.n
-        reference = math.log2(n) / math.log2(math.log2(n))
-        rows.append({
-            "n": n,
-            "span_normalized": round(record.span if record.span is not None else -1, 2),
-            "log_over_loglog": round(reference, 2),
-            "messages_per_node": round(record.total_messages / n, 1),
-            "agreement": int(record.agreement),
-            "decided_fraction": round(record.decided_fraction, 3),
-        })
-        spans.append(record.span or 0.0)
-        messages.append(record.total_messages / n)
+    rows = [LEMMA10.record_row(record) for record in sweep.records]
+    spans = [record.span or 0.0 for record in sweep.records]
+    messages = [record.total_messages / record.spec.n for record in sweep.records]
     return rows, spans, messages
 
 

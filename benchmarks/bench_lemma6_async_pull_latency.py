@@ -7,62 +7,53 @@ requests for ``gstring`` to burn their ``log² n`` answer budgets, and delays
 all honest traffic to the reliability limit.  Lemma 6 bounds the resulting
 latency by ``O(log n / log log n)`` normalized time units.
 
-Reproduction: sweep ``n``, run AER asynchronously under that adversary, and
-report the normalized completion time (span) next to the paper's
-``log n / log log n`` reference curve.  The shape assertion is that the span
-grows no faster than a small multiple of the reference (and much slower than
-linearly).
+Reproduction: sweep ``n``, run AER asynchronously under that adversary with
+the worst-case constant delay policy, and report the normalized completion
+time (span) next to the paper's ``log n / log log n`` reference curve.  The
+shape assertion is that the span grows no faster than a small multiple of
+the reference (and much slower than linearly).
+
+The sweep and the table rows come from the ``lemma6`` report section, so
+this benchmark and the corresponding EXPERIMENTS.md section share one row
+source.
 """
 
 from __future__ import annotations
 
-import math
-
 import pytest
 
 from repro.analysis.complexity import growth_exponent
-from repro.net.asynchronous import ConstantDelayPolicy
-from repro.core.config import AERConfig
-from repro.core.scenario import make_scenario
-from repro.runner import make_adversary, run_aer
+from repro.experiments import execute_spec
+from repro.report.sections import LEMMA6
 
 SIZES = [32, 64, 96]
 SEED = 6
 
-
-def async_span(n: int, adversary_name: str = "cornering", seed: int = SEED) -> float:
-    config = AERConfig.for_system(n, sampler_seed=seed)
-    scenario = make_scenario(n, config=config, t=n // 6, knowledge_fraction=0.78, seed=seed)
-    samplers = config.build_samplers()
-    adversary = make_adversary(adversary_name, scenario, config, samplers)
-    result = run_aer(
-        scenario, config=config, adversary=adversary, mode="async", seed=seed,
-        samplers=samplers, delay_policy=ConstantDelayPolicy(1.0),
-    )
-    assert all(v == scenario.gstring for v in result.decisions.values())
-    return result.span or 0.0
+PLAN = LEMMA6.plan_for(SIZES, seeds=(SEED,))
 
 
 @pytest.fixture(scope="module")
-def lemma6_rows():
-    rows = []
-    spans = []
-    for n in SIZES:
-        span = async_span(n)
-        reference = math.log2(n) / math.log2(math.log2(n))
-        rows.append({
-            "n": n,
-            "span_normalized": round(span, 2),
-            "log_over_loglog": round(reference, 2),
-            "span_over_reference": round(span / reference, 2),
-        })
-        spans.append(span)
+def lemma6_sweep(run_plan):
+    return run_plan(PLAN)
+
+
+@pytest.fixture(scope="module")
+def lemma6_rows(lemma6_sweep):
+    rows = [LEMMA6.record_row(record) for record in lemma6_sweep.records]
+    spans = [record.span or 0.0 for record in lemma6_sweep.records]
     return rows, spans
 
 
 def test_benchmark_async_overload_run(benchmark):
-    span = benchmark.pedantic(lambda: async_span(64), rounds=1, iterations=1)
-    assert span > 0
+    spec = next(s for s in PLAN.specs() if s.n == 64)
+    record = benchmark.pedantic(lambda: execute_spec(spec), rounds=1, iterations=1)
+    assert (record.span or 0.0) > 0
+
+
+def test_all_decisions_are_gstring(lemma6_sweep):
+    # The original per-run assertion: every decided value is the true gstring.
+    for record in lemma6_sweep.records:
+        assert record.extras["decided_gstring"] == round(record.decided_fraction, 4)
 
 
 def test_span_within_constant_of_reference(lemma6_rows):

@@ -11,48 +11,41 @@ decision-targeting adversary (wrong answers + wrong-string pushes), measure
 
 Safety must be perfect in every trial; reach is a w.h.p. statement reported
 with its confidence interval.
+
+The per-seed grid and the table rows come from the ``lemma7`` report
+section, so this benchmark and the corresponding EXPERIMENTS.md section
+share one row source.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.analysis.statistics import estimate_success
-from repro.runner import run_aer_experiment
+from repro.analysis.statistics import success_estimate_from_outcomes
+from repro.experiments import execute_spec
+from repro.report.sections import LEMMA7
 
 N = 64
 TRIALS = 8
 
-
-def decision_outcome(seed: int):
-    result = run_aer_experiment(n=N, adversary_name="wrong_answer", seed=seed)
-    values = list(result.decisions.values())
-    if values:
-        gstring = max(set(values), key=values.count)
-    else:
-        gstring = None
-    wrong = sum(1 for v in values if v != gstring)
-    reach = result.fraction_decided(gstring) if gstring is not None else 0.0
-    return wrong, reach, result.agreement_reached
+PLAN = LEMMA7.plan_for(N, seeds=tuple(range(TRIALS)))
 
 
 @pytest.fixture(scope="module")
-def lemma7_stats():
-    wrongs, reaches = [], []
-
-    def trial(seed: int) -> bool:
-        wrong, reach, agreement = decision_outcome(seed)
-        wrongs.append(wrong)
-        reaches.append(reach)
-        return agreement
-
-    estimate = estimate_success(trial, trials=TRIALS)
+def lemma7_stats(run_plan):
+    sweep = run_plan(PLAN)
+    rows = [LEMMA7.record_row(record) for record in sweep.records]
+    estimate = success_estimate_from_outcomes(bool(row["agreement"]) for row in rows)
+    wrongs = [row["wrong_decisions"] for row in rows]
+    reaches = [row["reach"] for row in rows]
     return estimate, wrongs, reaches
 
 
 def test_benchmark_single_decision_run(benchmark):
-    wrong, reach, _ = benchmark.pedantic(lambda: decision_outcome(0), rounds=1, iterations=1)
-    assert wrong == 0
+    record = benchmark.pedantic(
+        lambda: execute_spec(PLAN.specs()[0]), rounds=1, iterations=1
+    )
+    assert LEMMA7.record_row(record)["wrong_decisions"] == 0
 
 
 def test_safety_is_absolute(lemma7_stats):

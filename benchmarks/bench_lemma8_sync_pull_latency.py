@@ -11,7 +11,9 @@ the round count does not grow with ``n`` and that messages per node grow only
 poly-logarithmically (sub-linearly over the measured range).
 
 The sweep runs as an :class:`repro.experiments.ExperimentPlan` on the
-parallel sweep subsystem (one worker per grid point).
+parallel sweep subsystem (one worker per grid point); the plan and the table
+rows come from the ``lemma8`` report section, so this benchmark and the
+corresponding EXPERIMENTS.md section share one row source.
 """
 
 from __future__ import annotations
@@ -19,39 +21,21 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.complexity import growth_exponent
-from repro.experiments import ExperimentPlan
+from repro.report.sections import LEMMA8
 from repro.runner import run_aer_experiment
 
 SIZES = [32, 64, 128, 192]
 SEED = 7
 
-PLAN = ExperimentPlan(
-    ns=tuple(SIZES),
-    adversaries=("wrong_answer",),
-    modes=("sync",),
-    seeds=(SEED,),
-    label="lemma8",
-)
+PLAN = LEMMA8.plan_for(SIZES, seeds=(SEED,))
 
 
 @pytest.fixture(scope="module")
 def lemma8_rows(run_plan):
     sweep = run_plan(PLAN)
-    rows = []
-    rounds_series, messages_series = [], []
-    for record in sweep.records:
-        rows.append({
-            "n": record.spec.n,
-            "rounds": record.rounds,
-            "latest_decision_round": (
-                record.max_decision_time if record.max_decision_time is not None else -1
-            ),
-            "messages_per_node": round(record.total_messages / record.spec.n, 1),
-            "agreement": int(record.agreement),
-            "decided_fraction": round(record.decided_fraction, 4),
-        })
-        rounds_series.append(record.rounds or 0)
-        messages_series.append(record.total_messages / record.spec.n)
+    rows = [LEMMA8.record_row(record) for record in sweep.records]
+    rounds_series = [record.rounds or 0 for record in sweep.records]
+    messages_series = [record.total_messages / record.spec.n for record in sweep.records]
     return rows, rounds_series, messages_series
 
 

@@ -11,7 +11,9 @@ same:
   fixture so ``pytest benchmarks/ --benchmark-only`` also yields wall-clock
   numbers;
 * the formatted table is appended to ``benchmarks/results/`` and echoed to
-  stdout so it can be pasted into EXPERIMENTS.md.
+  stdout; the claims also covered by a report section print rows built by
+  that section's ``record_row``, so the pytest output and the generated
+  EXPERIMENTS.md (``python -m repro report``) share one row source.
 
 Grid-shaped benchmarks (one run per point of an ``n × adversary × mode ×
 seed`` grid) declare an :class:`repro.experiments.ExperimentPlan` and run it

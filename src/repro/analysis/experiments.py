@@ -27,7 +27,9 @@ def format_table(rows: Sequence[Mapping[str, object]], title: Optional[str] = No
     All rows are expected to share the same keys (the first row defines the
     column order); values are rendered with ``str``.  The output is what the
     benchmarks print so that the paper-vs-measured comparison is visible in
-    the pytest output and can be pasted into EXPERIMENTS.md.
+    the pytest output.  The committed EXPERIMENTS.md is *generated* — not
+    pasted — by ``python -m repro report`` (:mod:`repro.report`), which
+    renders the same rows as Markdown.
     """
     if not rows:
         return f"{title or 'table'}: (no rows)"

@@ -1,17 +1,22 @@
-"""Success-rate statistics for the paper's w.h.p. claims.
+"""Success-rate and cross-seed statistics for the paper's claims.
 
 Lemmas 5 and 7 assert events that hold *with high probability* (probability
 ``1 − O(n^{-3})``).  A finite number of simulated trials can only bound the
 failure rate statistically, so the benchmarks report the observed success
 fraction together with a Wilson score confidence interval, which behaves well
 even when zero failures are observed.
+
+The report subsystem (:mod:`repro.report`) additionally aggregates metric
+columns (rounds, bits, spans) across seeds; :func:`mean_ci` provides the
+normal-approximation mean ± confidence interval those tables print.
 """
 
 from __future__ import annotations
 
 import math
+import statistics as _statistics
 from dataclasses import dataclass
-from typing import Callable, Tuple
+from typing import Callable, Iterable, Tuple
 
 
 def wilson_interval(successes: int, trials: int, z: float = 1.96) -> Tuple[float, float]:
@@ -62,3 +67,52 @@ def estimate_success(trial: Callable[[int], bool], trials: int, z: float = 1.96)
     successes = sum(1 for seed in range(trials) if trial(seed))
     low, high = wilson_interval(successes, trials, z=z)
     return SuccessEstimate(successes=successes, trials=trials, low=low, high=high)
+
+
+def success_estimate_from_outcomes(outcomes: Iterable[bool], z: float = 1.96) -> SuccessEstimate:
+    """Summarise already-collected boolean outcomes (e.g. one sweep record per seed)."""
+    values = [bool(v) for v in outcomes]
+    if not values:
+        raise ValueError("need at least one outcome")
+    successes = sum(values)
+    low, high = wilson_interval(successes, len(values), z=z)
+    return SuccessEstimate(successes=successes, trials=len(values), low=low, high=high)
+
+
+@dataclass(frozen=True)
+class MeanEstimate:
+    """Cross-seed mean of a metric with a normal-approximation confidence interval.
+
+    With a single sample the interval collapses to the point (there is no
+    spread information); ``half_width`` is then 0.
+    """
+
+    mean: float
+    half_width: float
+    count: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def format(self, digits: int = 2) -> str:
+        """Deterministic ``mean ±hw`` rendering for table cells."""
+        if self.count <= 1 or self.half_width == 0:
+            return f"{self.mean:.{digits}f}"
+        return f"{self.mean:.{digits}f} ±{self.half_width:.{digits}f}"
+
+
+def mean_ci(values: Iterable[float], z: float = 1.96) -> MeanEstimate:
+    """Mean ± z·stderr of the sample (the report tables' cross-seed columns)."""
+    data = [float(v) for v in values]
+    if not data:
+        raise ValueError("need at least one value")
+    mean = sum(data) / len(data)
+    if len(data) == 1:
+        return MeanEstimate(mean=mean, half_width=0.0, count=1)
+    stderr = _statistics.stdev(data) / math.sqrt(len(data))
+    return MeanEstimate(mean=mean, half_width=z * stderr, count=len(data))

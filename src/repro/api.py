@@ -22,7 +22,9 @@ Extension points (all decorator-based; see ARCHITECTURE.md layer 4):
 * :func:`register_protocol` — a new :class:`ProtocolAdapter`;
 * :func:`register_adversary` — a new Byzantine strategy;
 * :func:`register_delay_policy` — a new asynchronous delay policy;
-* :func:`register_scenario` — a new scenario generator.
+* :func:`register_scenario` — a new scenario generator;
+* :func:`register_report_section` — a new EXPERIMENTS.md section
+  (:class:`ReportSection`; rendered by ``python -m repro report``).
 """
 
 from __future__ import annotations
@@ -59,6 +61,17 @@ from repro.protocols import (
     register_protocol,
     register_scenario,
 )
+from repro.report import (
+    REPORT_SECTIONS,
+    ReportBuilder,
+    ReportSection,
+    build_report,
+    get_report_section,
+    list_report_sections,
+    markdown_table,
+    register_report_section,
+    render_registries,
+)
 
 __all__ = [
     # registries and their decorators
@@ -66,15 +79,17 @@ __all__ = [
     "ADVERSARIES", "register_adversary", "resolve_adversary", "list_adversaries",
     "DELAY_POLICIES", "register_delay_policy", "make_delay_policy", "list_delay_policies",
     "SCENARIOS", "register_scenario", "make_scenario_by_name", "list_scenarios",
+    "REPORT_SECTIONS", "register_report_section", "get_report_section", "list_report_sections",
     # contracts and records
     "ProtocolAdapter", "RunResult", "Adversary", "AdversaryKnowledge",
-    "DelayPolicy", "AERScenario", "make_scenario",
+    "DelayPolicy", "AERScenario", "make_scenario", "ReportSection",
     # orchestration
     "ExperimentSpec", "ExperimentPlan", "ExperimentRecord",
     "SweepRunner", "SweepResult", "run_sweep", "execute_spec",
     # conveniences
     "spec_for", "run_experiment", "compare",
     "format_table", "compare_rows", "run_result_row",
+    "ReportBuilder", "build_report", "render_registries", "markdown_table",
 ]
 
 #: spec fields settable directly through ``spec_for`` keyword arguments

@@ -27,6 +27,17 @@ Subcommands
     List the registered protocols, adversaries, delay policies and scenario
     generators (the extension points of the registry API).
 
+``report``
+    Run the report sections and generate the living reproduction document::
+
+        python -m repro report --quick -o EXPERIMENTS.md
+        python -m repro report --sections figure1a,lemma8 --cache .report-cache -o -
+
+``registries``
+    Render the auto-generated registry reference (all five registries)::
+
+        python -m repro registries -o REGISTRIES.md
+
 ``bench``
     The fixed kernel benchmark sweep; writes ``BENCH_kernel.json``.
 
@@ -131,6 +142,47 @@ def build_parser() -> argparse.ArgumentParser:
         "protocols", help="list registered protocols, adversaries, policies, scenarios"
     )
     protocols.add_argument("--verbose", action="store_true", help="include descriptions")
+
+    report = sub.add_parser(
+        "report", help="run the report sections and generate EXPERIMENTS.md"
+    )
+    report.add_argument(
+        "--sections",
+        type=_csv_strs,
+        default=None,
+        help="comma-separated section names (default: all, in document order)",
+    )
+    grid = report.add_mutually_exclusive_group()
+    grid.add_argument(
+        "--quick", action="store_true", default=True,
+        help="small CI-sized grids (the default)",
+    )
+    grid.add_argument(
+        "--full", dest="quick", action="store_false", help="full grids, more seeds"
+    )
+    report.add_argument(
+        "-o", "--out", default="EXPERIMENTS.md",
+        help="output path ('-' prints to stdout; default: EXPERIMENTS.md)",
+    )
+    report.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="persist/reuse each section's SweepResult JSON under DIR",
+    )
+    report.add_argument("--jobs", type=int, default=None, help="worker processes per sweep")
+    report.add_argument(
+        "--timings", action="store_true",
+        help="add git commit + wall-clock to the provenance header "
+             "(volatile: breaks the byte-identical contract the CI check relies on)",
+    )
+    report.add_argument("--list", action="store_true", help="list sections and exit")
+
+    registries = sub.add_parser(
+        "registries", help="render the auto-generated registry reference"
+    )
+    registries.add_argument(
+        "-o", "--out", default="REGISTRIES.md",
+        help="output path ('-' prints to stdout; default: REGISTRIES.md)",
+    )
 
     bench = sub.add_parser("bench", help="fixed kernel benchmark; writes BENCH_kernel.json")
     bench.add_argument("--out", default="BENCH_kernel.json")
@@ -246,6 +298,47 @@ def cmd_protocols(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_document(text: str, out: str, label: str) -> None:
+    """Write a generated document to ``out``, or to stdout for ``"-"``."""
+    if out == "-":
+        print(text, end="")
+        return
+    with open(out, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    print(f"{label} written to {out}")
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.report import ReportBuilder, get_report_section, list_report_sections
+
+    if args.list:
+        for name in list_report_sections():
+            section = get_report_section(name)
+            print(f"{name:18s} {section.title}")
+        return 0
+    try:
+        builder = ReportBuilder(
+            sections=args.sections,
+            quick=args.quick,
+            jobs=args.jobs,
+            cache_dir=args.cache,
+            include_volatile=args.timings,
+        )
+        text = builder.build()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _write_document(text, args.out, "report")
+    return 0
+
+
+def cmd_registries(args: argparse.Namespace) -> int:
+    from repro.report import render_registries
+
+    _write_document(render_registries(), args.out, "registry reference")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     report = write_report(args.out)
     print(json.dumps(report, indent=1))
@@ -263,6 +356,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_compare(args)
     if args.command == "protocols":
         return cmd_protocols(args)
+    if args.command == "report":
+        return cmd_report(args)
+    if args.command == "registries":
+        return cmd_registries(args)
     if args.command == "bench":
         return cmd_bench(args)
     return 2  # pragma: no cover - argparse enforces the choices

@@ -1,0 +1,650 @@
+"""Built-in report sections: Figure 1a/1b, Lemmas 6-10 and adversary coverage.
+
+Each section pins the claim of the paper it measures, the experiment grid
+that measures it (``--quick`` and ``--full`` variants) and the row-building
+code.  The corresponding benchmark modules import the section instances
+(``FIGURE1A``, ``LEMMA8``, ...) and print the very same ``record_row``
+output, so the pytest tables and EXPERIMENTS.md are two renderings of one
+row source.
+
+Grid sizes are laptop-scale on purpose: the ``--quick`` grids regenerate the
+committed EXPERIMENTS.md in well under five minutes on one core; ``--full``
+extends the sweeps to the sizes the benchmarks use and adds seeds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.complexity import growth_exponent
+from repro.analysis.statistics import mean_ci, success_estimate_from_outcomes
+from repro.experiments.plan import ExperimentPlan, ExperimentSpec
+from repro.experiments.sweep import ExperimentRecord
+from repro.report.base import ReportSection, register_report_section
+
+
+def _round_opt(value, digits: int = 2):
+    """Round a float, passing ``None`` through as the table's ``"-"`` cell."""
+    return round(value, digits) if value is not None else "-"
+
+
+def label_series(records: Sequence[ExperimentRecord], label: str, value) -> List[float]:
+    """Metric curve of one labelled series, in plan (n-major) order.
+
+    The Figure-1 sections tag each spec with a series label; this extracts
+    one series' values for growth fits (shared with the benchmarks).
+    """
+    return [value(r) for r in records if r.spec.label == label]
+
+
+def mean_series_by_n(
+    records: Sequence[ExperimentRecord], value
+) -> Tuple[List[int], List[float]]:
+    """Seed-averaged metric curve: sorted ``ns`` and the per-``n`` means.
+
+    ``value`` maps a record to a float (or ``None`` to skip it); this is what
+    the growth-fit commentary feeds to
+    :func:`repro.analysis.complexity.growth_exponent`.
+    """
+    by_n: Dict[int, List[float]] = {}
+    for record in records:
+        v = value(record)
+        if v is not None:
+            by_n.setdefault(record.spec.n, []).append(float(v))
+    ns = sorted(by_n)
+    return ns, [mean_ci(by_n[n]).mean for n in ns]
+
+
+def fitted_exponent(records: Sequence[ExperimentRecord], value):
+    """Power-law exponent of the seed-averaged curve (``cost ≈ a·n^b``).
+
+    Returns ``"n/a"`` when the records span fewer than two positive points
+    (a single-size grid cannot pin a growth law), so commentary stays
+    renderable for any grid a user sweeps.
+    """
+    ns, means = mean_series_by_n(records, value)
+    try:
+        return round(growth_exponent(ns, means), 3)
+    except ValueError:
+        return "n/a"
+
+
+def _reach(record: ExperimentRecord) -> float:
+    """Fraction of correct nodes that decided the scenario's true gstring."""
+    value = record.extras.get("decided_gstring")
+    return float(value) if value is not None else record.decided_fraction
+
+
+# ----------------------------------------------------------------------
+# Figure 1a — almost-everywhere to everywhere
+# ----------------------------------------------------------------------
+@register_report_section
+class Figure1aSection(ReportSection):
+    """AE→E comparison: KLST-style baseline vs AER, sync and async."""
+
+    name = "figure1a"
+    title = "Figure 1a — almost-everywhere to everywhere"
+    claim = (
+        "AER completes in O(1) synchronous rounds (O(log n / log log n) time "
+        "asynchronously) with O(log² n) amortized bits per node, but is not "
+        "load-balanced; the KLST-style sampled-majority baseline needs "
+        "O~(√n) bits per node yet stays load-balanced."
+    )
+    benchmark = "benchmarks/bench_figure1a_ae_to_e.py"
+    order = 10
+
+    group_by = ("protocol", "model", "n")
+    ci_columns = ("rounds", "span", "amortized_bits", "load_imbalance", "decided_fraction")
+    rate_columns = ("agreement",)
+    max_columns = ("max_node_bits",)
+
+    #: label → (display protocol, display model) used by record_row
+    SERIES = {
+        "klst": ("KLST-style (sampled majority)", "sync"),
+        "aer-sync": ("AER", "sync non-rushing"),
+        "aer-flood": ("AER (quorum-flood attack)", "sync non-rushing"),
+        "aer-async": ("AER", "async (cornering)"),
+    }
+
+    @staticmethod
+    def specs(
+        sync_ns: Sequence[int], async_ns: Sequence[int], seeds: Sequence[int]
+    ) -> Tuple[ExperimentSpec, ...]:
+        """The irregular Figure-1a grid as explicit specs (n-major, seed-minor)."""
+        specs: List[ExperimentSpec] = []
+        for n in sync_ns:
+            for seed in seeds:
+                specs.append(
+                    ExperimentSpec(n=n, protocol="sample_majority", seed=seed, label="klst")
+                )
+                specs.append(
+                    ExperimentSpec(n=n, adversary="wrong_answer", seed=seed, label="aer-sync")
+                )
+                specs.append(
+                    ExperimentSpec(n=n, adversary="quorum_flood", seed=seed, label="aer-flood")
+                )
+        for n in async_ns:
+            for seed in seeds:
+                specs.append(
+                    ExperimentSpec(
+                        n=n, adversary="cornering", mode="async", seed=seed, label="aer-async"
+                    )
+                )
+        return tuple(specs)
+
+    def plan_for(
+        self, sync_ns: Sequence[int], async_ns: Sequence[int], seeds: Sequence[int]
+    ) -> ExperimentPlan:
+        return ExperimentPlan(ns=(), extra_specs=self.specs(sync_ns, async_ns, seeds))
+
+    def plan(self, quick: bool = True) -> ExperimentPlan:
+        # Doubling sizes on purpose: quorum sizes step with ⌈log₂ n⌉, so a
+        # grid with same-⌈log⌉ sizes (e.g. 48 and 64) exaggerates the fitted
+        # growth exponents the commentary quotes.
+        if quick:
+            return self.plan_for((32, 64, 128), (32, 64), seeds=(0, 1, 2))
+        return self.plan_for((32, 64, 128, 192), (32, 64, 96), seeds=(0, 1, 2, 3, 4))
+
+    def record_row(self, record: ExperimentRecord) -> Dict[str, object]:
+        protocol, model = self.SERIES[record.spec.label]
+        return {
+            "protocol": protocol,
+            "model": model,
+            "n": record.spec.n,
+            "seed": record.spec.seed,
+            "decided_fraction": round(record.decided_fraction, 4),
+            "agreement": int(record.agreement),
+            "rounds": _round_opt(record.rounds),
+            "span": _round_opt(record.span),
+            "amortized_bits": round(record.amortized_bits, 1),
+            "max_node_bits": record.max_node_bits,
+            "load_imbalance": round(record.load_imbalance, 2),
+        }
+
+    def commentary(self, records: Sequence[ExperimentRecord]) -> List[str]:
+        klst = [r for r in records if r.spec.label == "klst"]
+        aer = [r for r in records if r.spec.label == "aer-sync"]
+        flood = [r for r in records if r.spec.label == "aer-flood"]
+        aer_exp = fitted_exponent(aer, lambda r: r.amortized_bits)
+        klst_exp = fitted_exponent(klst, lambda r: r.amortized_bits)
+        remarks = [
+            "Bits per node: paper says AER is O(log² n), the baseline O~(√n) — "
+            f"fitted power exponents over this grid: AER {aer_exp}, "
+            f"KLST-style {klst_exp} (0 ≈ polylog, 0.5 ≈ √n, 1 ≈ linear).  "
+            "Log factors inflate both exponents over a finite range; the "
+            "asymptotic separation is the growth gap, while absolute "
+            "constants at laptop scale favor the baseline.",
+            "Time: AER's synchronous round count stays essentially flat in n "
+            f"(fitted exponent {fitted_exponent(aer, lambda r: r.rounds)}), "
+            "against the baseline's fixed 2-round query/answer pattern.",
+        ]
+        if klst and flood:
+            klst_imbalance = max(r.load_imbalance for r in klst)
+            flood_imbalance = max(r.load_imbalance for r in flood)
+            remarks.append(
+                "Load balance: worst max/median per-node bits is "
+                f"{klst_imbalance:.2f} for the baseline vs {flood_imbalance:.2f} for AER "
+                "under the quorum-flood attack — AER is not load-balanced, as the paper states."
+            )
+        remarks.append(f"Outcome: {self.agreement_summary(records)}.")
+        return remarks
+
+
+# ----------------------------------------------------------------------
+# Figure 1b — Byzantine Agreement comparison
+# ----------------------------------------------------------------------
+@register_report_section
+class Figure1bSection(ReportSection):
+    """BA composition vs the KLST-style and quadratic compositions."""
+
+    name = "figure1b"
+    title = "Figure 1b — Byzantine Agreement"
+    claim = (
+        "The paper's BA (committee-tree almost-everywhere stage + AER) uses "
+        "polylogarithmic time and amortized bits; composing the same "
+        "ae-stage with a sampled-majority everywhere stage costs O~(√n) "
+        "bits, and with all-to-all broadcast Θ(n) bits per node."
+    )
+    benchmark = "benchmarks/bench_figure1b_byzantine_agreement.py"
+    order = 20
+
+    group_by = ("protocol", "n")
+    ci_columns = ("rounds", "amortized_bits", "knowledge_after_ae")
+    rate_columns = ("agreement",)
+    max_columns = ("max_node_bits",)
+
+    SERIES = {
+        "ba": "BA (ae + AER)",
+        "klst": "ae + sampled majority (KLST-style)",
+        "naive": "ae + all-to-all broadcast",
+    }
+
+    @staticmethod
+    def specs(ns: Sequence[int], seeds: Sequence[int]) -> Tuple[ExperimentSpec, ...]:
+        specs: List[ExperimentSpec] = []
+        for n in ns:
+            for seed in seeds:
+                specs.append(ExperimentSpec(n=n, protocol="full_ba", seed=seed, label="ba"))
+                specs.append(
+                    ExperimentSpec(
+                        n=n,
+                        protocol="composed_ba",
+                        seed=seed,
+                        label="klst",
+                        params={"strategy": "sample_majority"},
+                    )
+                )
+                specs.append(
+                    ExperimentSpec(
+                        n=n,
+                        protocol="composed_ba",
+                        seed=seed,
+                        label="naive",
+                        params={"strategy": "naive"},
+                    )
+                )
+        return tuple(specs)
+
+    def plan_for(self, ns: Sequence[int], seeds: Sequence[int]) -> ExperimentPlan:
+        return ExperimentPlan(ns=(), extra_specs=self.specs(ns, seeds))
+
+    def plan(self, quick: bool = True) -> ExperimentPlan:
+        if quick:
+            return self.plan_for((48, 96, 144), seeds=(0, 1, 2))
+        return self.plan_for((48, 96, 144, 192), seeds=(0, 1, 2, 3, 4))
+
+    def record_row(self, record: ExperimentRecord) -> Dict[str, object]:
+        return {
+            "protocol": self.SERIES[record.spec.label],
+            "n": record.spec.n,
+            "seed": record.spec.seed,
+            "agreement": int(record.agreement),
+            "knowledge_after_ae": record.extras.get("knowledge_after_ae", "-"),
+            "rounds": _round_opt(record.rounds),
+            "amortized_bits": round(record.amortized_bits, 1),
+            "max_node_bits": record.max_node_bits,
+        }
+
+    def commentary(self, records: Sequence[ExperimentRecord]) -> List[str]:
+        by_label = {
+            label: [r for r in records if r.spec.label == label] for label in self.SERIES
+        }
+        exponents = {
+            label: fitted_exponent(group, lambda r: r.amortized_bits)
+            for label, group in by_label.items()
+            if group
+        }
+        remarks = [
+            "Amortized bits, fitted power exponents: "
+            + ", ".join(f"{self.SERIES[k]} {v}" for k, v in exponents.items())
+            + " (0 ≈ polylog, 0.5 ≈ √n, 1 ≈ linear)."
+        ]
+        if "ba" in exponents and "naive" in exponents:
+            gap = round(exponents["naive"] - exponents["ba"], 3)
+            remarks.append(
+                f"BA's bits grow slower than the all-to-all composition's "
+                f"(exponent gap {gap}); the benchmark asserts this ordering "
+                "over its larger grid."
+            )
+        ba = by_label.get("ba", [])
+        if ba:
+            remarks.append(
+                "BA's total round count stays flat in n "
+                f"(fitted exponent {fitted_exponent(ba, lambda r: r.rounds)})."
+            )
+        remarks.append(f"Outcome: {self.agreement_summary(records)}.")
+        return remarks
+
+
+# ----------------------------------------------------------------------
+# Lemma 6 — asynchronous latency under the overload attack
+# ----------------------------------------------------------------------
+@register_report_section
+class Lemma6Section(ReportSection):
+    """Async pull latency vs the log n / log log n reference."""
+
+    name = "lemma6"
+    title = "Lemma 6 — asynchronous latency under the overload (cornering) attack"
+    claim = (
+        "Against the delay- and overload-maximising asynchronous adversary, "
+        "every poll completes within O(log n / log log n) normalized time."
+    )
+    benchmark = "benchmarks/bench_lemma6_async_pull_latency.py"
+    order = 30
+
+    group_by = ("n",)
+    ci_columns = ("span_normalized", "log_over_loglog", "span_over_reference", "decided_fraction")
+    rate_columns = ("agreement",)
+
+    def plan_for(self, ns: Sequence[int], seeds: Sequence[int]) -> ExperimentPlan:
+        return ExperimentPlan(
+            ns=tuple(ns),
+            adversaries=("cornering",),
+            modes=("async",),
+            seeds=tuple(seeds),
+            label="lemma6",
+            params={"delay_policy": "constant", "delay_params": {"value": 1.0}},
+        )
+
+    def plan(self, quick: bool = True) -> ExperimentPlan:
+        if quick:
+            return self.plan_for((24, 32, 48), seeds=(0, 1, 2))
+        return self.plan_for((32, 64, 96), seeds=(0, 1, 2, 3, 4))
+
+    def record_row(self, record: ExperimentRecord) -> Dict[str, object]:
+        n = record.spec.n
+        reference = math.log2(n) / math.log2(math.log2(n))
+        span = record.span if record.span is not None else 0.0
+        return {
+            "n": n,
+            "seed": record.spec.seed,
+            "span_normalized": round(span, 2),
+            "log_over_loglog": round(reference, 2),
+            "span_over_reference": round(span / reference, 2),
+            "agreement": int(record.agreement),
+            "decided_fraction": round(record.decided_fraction, 4),
+        }
+
+    def commentary(self, records: Sequence[ExperimentRecord]) -> List[str]:
+        worst = max(self.record_row(r)["span_over_reference"] for r in records)
+        return [
+            "Span grows far slower than n "
+            f"(fitted exponent {fitted_exponent(records, lambda r: r.span)}; "
+            "the reference curve's own exponent over this range is ≈ 0.2).",
+            f"Worst span / (log n / log log n) ratio observed: {worst:.2f} — "
+            "a small constant, matching the lemma's O(·) bound.",
+            f"Outcome: {self.agreement_summary(records)}.",
+        ]
+
+
+# ----------------------------------------------------------------------
+# Lemma 7 — decision safety, w.h.p. reach
+# ----------------------------------------------------------------------
+@register_report_section
+class Lemma7Section(ReportSection):
+    """No wrong decisions ever; gstring decided essentially everywhere."""
+
+    name = "lemma7"
+    title = "Lemma 7 — decisions are gstring, w.h.p. everywhere"
+    claim = (
+        "With high probability every correct node decides, and any node that "
+        "decides, decides gstring — a wrong decision would require a "
+        "Byzantine-majority poll list for a freshly drawn random label."
+    )
+    benchmark = "benchmarks/bench_lemma7_decision_safety.py"
+    order = 40
+
+    def plan_for(self, n: int, seeds: Sequence[int]) -> ExperimentPlan:
+        return ExperimentPlan(
+            ns=(n,),
+            adversaries=("wrong_answer",),
+            modes=("sync",),
+            seeds=tuple(seeds),
+            label="lemma7",
+        )
+
+    def plan(self, quick: bool = True) -> ExperimentPlan:
+        if quick:
+            return self.plan_for(48, seeds=tuple(range(6)))
+        return self.plan_for(64, seeds=tuple(range(10)))
+
+    def record_row(self, record: ExperimentRecord) -> Dict[str, object]:
+        reach = _reach(record)
+        wrong = record.decided_count - round(reach * record.correct_count)
+        return {
+            "n": record.spec.n,
+            "seed": record.spec.seed,
+            "agreement": int(record.agreement),
+            "reach": round(reach, 4),
+            "wrong_decisions": wrong,
+        }
+
+    def rows(self, records: Sequence[ExperimentRecord]) -> List[Dict[str, object]]:
+        """One Wilson-interval summary row per system size."""
+        out: List[Dict[str, object]] = []
+        for n in sorted({r.spec.n for r in records}):
+            group = [self.record_row(r) for r in records if r.spec.n == n]
+            estimate = success_estimate_from_outcomes(bool(row["agreement"]) for row in group)
+            out.append(
+                {
+                    "n": n,
+                    "trials": estimate.trials,
+                    "full_agreement": estimate.successes,
+                    "rate": round(estimate.rate, 4),
+                    "ci_low": round(estimate.low, 4),
+                    "ci_high": round(estimate.high, 4),
+                    "wrong_decisions_total": sum(row["wrong_decisions"] for row in group),
+                    "mean_reach": mean_ci([row["reach"] for row in group]).format(4),
+                }
+            )
+        return out
+
+    def commentary(self, records: Sequence[ExperimentRecord]) -> List[str]:
+        wrong_total = sum(self.record_row(r)["wrong_decisions"] for r in records)
+        return [
+            f"Safety: {wrong_total} wrong decisions across all trials "
+            "(the paper's argument makes a wrong decision essentially impossible).",
+            "Reach is a w.h.p. statement at finite n: single-node stragglers "
+            "(a correct node drawing a bad poll list) occur with small but "
+            "non-zero probability at these sizes, which the Wilson interval quantifies.",
+        ]
+
+
+# ----------------------------------------------------------------------
+# Lemmas 8-9 — synchronous constant time, O~(n) messages
+# ----------------------------------------------------------------------
+@register_report_section
+class Lemma8Section(ReportSection):
+    """Constant rounds and quasi-linear messages against a non-rushing adversary."""
+
+    name = "lemma8"
+    title = "Lemmas 8-9 — synchronous non-rushing: constant rounds, O~(n) messages"
+    claim = (
+        "Against a non-rushing synchronous adversary every poll is answered "
+        "in a constant number of steps, the protocol finishes in O(1) rounds "
+        "and the total number of messages is O~(n)."
+    )
+    benchmark = "benchmarks/bench_lemma8_sync_pull_latency.py"
+    order = 50
+
+    group_by = ("n",)
+    ci_columns = ("rounds", "messages_per_node", "decided_fraction")
+    rate_columns = ("agreement",)
+    max_columns = ("latest_decision_round",)
+
+    def plan_for(self, ns: Sequence[int], seeds: Sequence[int]) -> ExperimentPlan:
+        return ExperimentPlan(
+            ns=tuple(ns),
+            adversaries=("wrong_answer",),
+            modes=("sync",),
+            seeds=tuple(seeds),
+            label="lemma8",
+        )
+
+    def plan(self, quick: bool = True) -> ExperimentPlan:
+        if quick:
+            return self.plan_for((32, 48, 64, 96), seeds=(0, 1, 2))
+        return self.plan_for((32, 64, 128, 192), seeds=(0, 1, 2, 3, 4))
+
+    def record_row(self, record: ExperimentRecord) -> Dict[str, object]:
+        return {
+            "n": record.spec.n,
+            "seed": record.spec.seed,
+            "rounds": record.rounds,
+            "latest_decision_round": (
+                record.max_decision_time if record.max_decision_time is not None else -1
+            ),
+            "messages_per_node": round(record.total_messages / record.spec.n, 1),
+            "agreement": int(record.agreement),
+            "decided_fraction": round(record.decided_fraction, 4),
+        }
+
+    def commentary(self, records: Sequence[ExperimentRecord]) -> List[str]:
+        return [
+            "Rounds: paper says O(1) — fitted power exponent "
+            f"{fitted_exponent(records, lambda r: r.rounds)} "
+            "(a handful of nodes may decide one cascade later, so the count "
+            "fluctuates but does not grow with n).",
+            "Messages per node: paper says O~(n) total, i.e. polylog per node — "
+            "fitted exponent "
+            f"{fitted_exponent(records, lambda r: r.total_messages / r.spec.n)}.",
+            f"Outcome: {self.agreement_summary(records)}.",
+        ]
+
+
+# ----------------------------------------------------------------------
+# Lemma 10 — asynchronous end-to-end
+# ----------------------------------------------------------------------
+@register_report_section
+class Lemma10Section(ReportSection):
+    """Async end-to-end: O(log n / log log n) time, O~(n) messages."""
+
+    name = "lemma10"
+    title = "Lemma 10 — asynchronous end-to-end time and messages"
+    claim = (
+        "Under the asynchronous scheduler the protocol completes in "
+        "O(log n / log log n) normalized time using O~(n) messages in total."
+    )
+    benchmark = "benchmarks/bench_lemma10_async_end_to_end.py"
+    order = 60
+
+    group_by = ("n",)
+    ci_columns = ("span_normalized", "log_over_loglog", "messages_per_node", "decided_fraction")
+    rate_columns = ("agreement",)
+
+    def plan_for(self, ns: Sequence[int], seeds: Sequence[int]) -> ExperimentPlan:
+        return ExperimentPlan(
+            ns=tuple(ns),
+            adversaries=("slow_knowledgeable",),
+            modes=("async",),
+            seeds=tuple(seeds),
+            label="lemma10",
+        )
+
+    def plan(self, quick: bool = True) -> ExperimentPlan:
+        if quick:
+            return self.plan_for((32, 48, 64), seeds=(0, 1, 2))
+        return self.plan_for((32, 64, 96), seeds=(0, 1, 2, 3, 4))
+
+    def record_row(self, record: ExperimentRecord) -> Dict[str, object]:
+        n = record.spec.n
+        reference = math.log2(n) / math.log2(math.log2(n))
+        return {
+            "n": n,
+            "seed": record.spec.seed,
+            "span_normalized": round(record.span if record.span is not None else -1, 2),
+            "log_over_loglog": round(reference, 2),
+            "messages_per_node": round(record.total_messages / n, 1),
+            "agreement": int(record.agreement),
+            "decided_fraction": round(record.decided_fraction, 4),
+        }
+
+    def commentary(self, records: Sequence[ExperimentRecord]) -> List[str]:
+        return [
+            "Span: fitted power exponent "
+            f"{fitted_exponent(records, lambda r: r.span)} — far below linear, "
+            "tracking the log n / log log n reference printed next to it.",
+            "Messages per node: fitted exponent "
+            f"{fitted_exponent(records, lambda r: r.total_messages / r.spec.n)} "
+            "(sub-linear, the O~(n)-total claim).",
+            f"Outcome: {self.agreement_summary(records)}.",
+        ]
+
+
+# ----------------------------------------------------------------------
+# Adversary matrix — coverage across every registered attack
+# ----------------------------------------------------------------------
+@register_report_section
+class AdversaryMatrixSection(ReportSection):
+    """Agreement under every built-in adversary, both schedulers."""
+
+    name = "adversary_matrix"
+    title = "Adversary matrix — agreement under every built-in attack"
+    claim = (
+        "Theorem 1 is adversary-agnostic: agreement must survive any "
+        "t < (1/3 − ε)n Byzantine strategy, under both schedulers.  This "
+        "matrix runs every registered attack strategy on the same scenarios."
+    )
+    # No benchmark counterpart: the per-adversary shape assertions live in
+    # the tier-1 suite (tests/test_adversary.py), not in benchmarks/.
+    benchmark = ""
+    order = 70
+
+    #: pinned to the built-ins so the committed document is stable; user
+    #: registrations show up by passing their names to plan_for explicitly
+    BUILTIN_ADVERSARIES = (
+        "none",
+        "silent",
+        "noise",
+        "equivocate",
+        "wrong_answer",
+        "push_flood",
+        "quorum_flood",
+        "cornering",
+        "slow_knowledgeable",
+    )
+
+    group_by = ("adversary", "mode", "n")
+    ci_columns = ("time", "amortized_bits", "decided_fraction")
+    rate_columns = ("agreement",)
+
+    def plan_for(
+        self,
+        n: int,
+        seeds: Sequence[int],
+        adversaries: Sequence[str] = BUILTIN_ADVERSARIES,
+    ) -> ExperimentPlan:
+        return ExperimentPlan(
+            ns=(n,),
+            adversaries=tuple(adversaries),
+            modes=("sync", "async"),
+            seeds=tuple(seeds),
+            label="adversary_matrix",
+        )
+
+    def plan(self, quick: bool = True) -> ExperimentPlan:
+        if quick:
+            return self.plan_for(32, seeds=(0, 1))
+        return self.plan_for(64, seeds=(0, 1, 2))
+
+    def record_row(self, record: ExperimentRecord) -> Dict[str, object]:
+        spec = record.spec
+        time = record.rounds if record.rounds is not None else record.span
+        return {
+            "adversary": spec.adversary,
+            "mode": spec.mode + ("-rushing" if spec.rushing else ""),
+            "n": spec.n,
+            "seed": spec.seed,
+            "agreement": int(record.agreement),
+            "decided_fraction": round(record.decided_fraction, 4),
+            "time": _round_opt(time),
+            "amortized_bits": round(record.amortized_bits, 1),
+        }
+
+    def commentary(self, records: Sequence[ExperimentRecord]) -> List[str]:
+        failing = sorted(
+            {r.spec.adversary for r in records if not r.agreement}
+        )
+        remarks = [f"Coverage: {self.agreement_summary(records)}."]
+        if failing:
+            remarks.append(
+                "Strategies with at least one non-agreement run (finite-n "
+                f"w.h.p. stragglers): {', '.join(failing)}."
+            )
+        else:
+            remarks.append("Every strategy was defeated in every run at these sizes.")
+        return remarks
+
+
+#: the registered section instances, importable by the benchmarks (which
+#: print exactly these sections' record_row output — one row source)
+from repro.report.base import get_report_section as _get  # noqa: E402
+
+FIGURE1A: Figure1aSection = _get("figure1a")  # type: ignore[assignment]
+FIGURE1B: Figure1bSection = _get("figure1b")  # type: ignore[assignment]
+LEMMA6: Lemma6Section = _get("lemma6")  # type: ignore[assignment]
+LEMMA7: Lemma7Section = _get("lemma7")  # type: ignore[assignment]
+LEMMA8: Lemma8Section = _get("lemma8")  # type: ignore[assignment]
+LEMMA10: Lemma10Section = _get("lemma10")  # type: ignore[assignment]
+ADVERSARY_MATRIX: AdversaryMatrixSection = _get("adversary_matrix")  # type: ignore[assignment]
