@@ -6,66 +6,59 @@ can force a few victims to do unbounded answering work; with it, the damage
 is capped.  This ablation runs the cornering attack against three budgets —
 the paper's ``log² n``, an effectively unlimited one, and a tiny one — and
 compares the worst per-node load and the outcome.
+
+The grid runs through the ``ablation_filters`` report section's plan (the
+``answer_budget`` knob is an AER adapter param, the budget-hit counts come
+from the trace subsystem's ``budget_exhausted`` probe), so this benchmark
+and the EXPERIMENTS.md section share one row source.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core.config import AERConfig
-from repro.core.scenario import make_scenario
-from repro.runner import make_adversary, run_aer
+from repro.report.sections import ABLATION_FILTERS
 
 N = 64
 SEED = 10
 
-
-def run_with_budget(budget: int):
-    base = AERConfig.for_system(N, sampler_seed=SEED)
-    config = base.with_(answer_budget=budget)
-    scenario = make_scenario(N, config=config, t=N // 6, knowledge_fraction=0.78, seed=SEED)
-    samplers = config.build_samplers()
-    adversary = make_adversary("cornering", scenario, config, samplers)
-    result = run_aer(
-        scenario, config=config, adversary=adversary, mode="async", seed=SEED, samplers=samplers
-    )
-    gstring = scenario.gstring
-    return {
-        "answer_budget": budget,
-        "reach": round(result.fraction_decided(gstring), 4),
-        "max_node_bits": result.metrics.max_node_bits,
-        "amortized_bits": round(result.metrics.amortized_bits, 1),
-        "span": round(result.span or -1, 2),
-    }
+BUDGETS = ABLATION_FILTERS.budgets_for(N)
+PLAN = ABLATION_FILTERS.plan_for(N, seeds=(SEED,))
 
 
 @pytest.fixture(scope="module")
-def ablation_rows():
-    default_budget = AERConfig.for_system(N).answer_budget
-    return [run_with_budget(budget) for budget in (2, default_budget, 10_000)]
+def ablation_rows(run_plan):
+    sweep = run_plan(PLAN)
+    return [ABLATION_FILTERS.record_row(record) for record in sweep.records]
 
 
 def test_benchmark_default_budget(benchmark):
-    default_budget = AERConfig.for_system(N).answer_budget
-    row = benchmark.pedantic(lambda: run_with_budget(default_budget), rounds=1, iterations=1)
-    assert row["reach"] >= 0.95
+    spec = next(
+        s for s in PLAN.specs() if s.params_dict()["answer_budget"] == BUDGETS["paper"]
+    )
+    result = benchmark.pedantic(spec.run, rounds=1, iterations=1)
+    assert result.extras["decided_gstring"] >= 0.95
 
 
 def test_paper_budget_keeps_liveness_tiny_budget_does_not(ablation_rows):
-    by_budget = {row["answer_budget"]: row for row in ablation_rows}
-    default_budget = AERConfig.for_system(N).answer_budget
+    by_regime = {row["regime"]: row for row in ablation_rows}
     # the paper's log² n budget (and anything larger) preserves liveness ...
-    assert by_budget[default_budget]["reach"] >= 0.95
-    assert by_budget[10_000]["reach"] >= 0.95
+    assert by_regime["paper"]["reach"] >= 0.95
+    assert by_regime["unlimited"]["reach"] >= 0.95
     # ... while an aggressively small budget visibly harms it — which is exactly
     # why the filter threshold must be log² n and not a constant.
-    assert by_budget[2]["reach"] <= by_budget[default_budget]["reach"]
+    assert by_regime["tiny"]["reach"] <= by_regime["paper"]["reach"]
 
 
 def test_unlimited_budget_does_not_reduce_load(ablation_rows):
-    by_budget = {row["answer_budget"]: row for row in ablation_rows}
-    default_budget = AERConfig.for_system(N).answer_budget
-    assert by_budget[default_budget]["max_node_bits"] <= by_budget[10_000]["max_node_bits"] * 1.2
+    by_regime = {row["regime"]: row for row in ablation_rows}
+    assert by_regime["paper"]["max_node_bits"] <= by_regime["unlimited"]["max_node_bits"] * 1.2
+
+
+def test_tiny_budget_defers_answers(ablation_rows):
+    # The trace's budget probe shows *why* the tiny budget starves polls.
+    by_regime = {row["regime"]: row for row in ablation_rows}
+    assert by_regime["tiny"]["answers_deferred"] > by_regime["unlimited"]["answers_deferred"]
 
 
 def test_report_table(ablation_rows, record_table, benchmark):

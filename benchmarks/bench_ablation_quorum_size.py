@@ -6,58 +6,59 @@ and the (cubic-in-d) message cost of the pull phase.  This ablation sweeps
 the quorum multiplier at fixed ``n`` and reports the fraction of correct
 nodes that decide ``gstring`` and the amortized cost, showing why the default
 multiplier of 2 is a sensible middle ground.
+
+The grid runs through the ``ablation_quorum`` report section's plan, so this
+benchmark and the EXPERIMENTS.md section share one row source.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.runner import run_aer_experiment
+from repro.report.sections import ABLATION_QUORUM
 
 N = 64
 MULTIPLIERS = [1.0, 2.0, 3.0]
 SEEDS = [0, 1, 2]
 
-
-def reach_and_cost(multiplier: float):
-    reach_total, cost_total = 0.0, 0.0
-    for seed in SEEDS:
-        result = run_aer_experiment(
-            n=N, adversary_name="wrong_answer", seed=seed, quorum_multiplier=multiplier
-        )
-        values = list(result.decisions.values())
-        gstring = max(set(values), key=values.count) if values else None
-        reach_total += result.fraction_decided(gstring) if gstring else 0.0
-        cost_total += result.metrics.amortized_bits
-    return reach_total / len(SEEDS), cost_total / len(SEEDS)
+PLAN = ABLATION_QUORUM.plan_for(N, seeds=SEEDS, multipliers=MULTIPLIERS)
 
 
 @pytest.fixture(scope="module")
-def ablation_rows():
-    rows = []
+def ablation_rows(run_plan):
+    sweep = run_plan(PLAN)
+    per_record = [ABLATION_QUORUM.record_row(record) for record in sweep.records]
+    means = []
     for multiplier in MULTIPLIERS:
-        reach, cost = reach_and_cost(multiplier)
-        rows.append({
+        group = [row for row in per_record if row["quorum_multiplier"] == multiplier]
+        means.append({
             "quorum_multiplier": multiplier,
-            "mean_reach": round(reach, 4),
-            "mean_amortized_bits": round(cost, 1),
+            "mean_reach": round(sum(row["reach"] for row in group) / len(group), 4),
+            "mean_amortized_bits": round(
+                sum(row["amortized_bits"] for row in group) / len(group), 1
+            ),
         })
-    return rows
+    return per_record, means
 
 
 def test_benchmark_default_multiplier(benchmark):
-    reach, cost = benchmark.pedantic(lambda: reach_and_cost(2.0), rounds=1, iterations=1)
-    assert reach > 0.95
+    spec = next(
+        s for s in PLAN.specs() if s.quorum_multiplier == 2.0 and s.seed == SEEDS[0]
+    )
+    result = benchmark.pedantic(spec.run, rounds=1, iterations=1)
+    assert result.extras["decided_gstring"] > 0.95
 
 
 def test_bigger_quorums_cost_more(ablation_rows):
-    costs = [row["mean_amortized_bits"] for row in ablation_rows]
+    _, means = ablation_rows
+    costs = [row["mean_amortized_bits"] for row in means]
     assert costs == sorted(costs)
     assert costs[-1] > 2 * costs[0]
 
 
 def test_default_multiplier_reaches_everyone(ablation_rows):
-    by_multiplier = {row["quorum_multiplier"]: row for row in ablation_rows}
+    _, means = ablation_rows
+    by_multiplier = {row["quorum_multiplier"]: row for row in means}
     assert by_multiplier[2.0]["mean_reach"] >= 0.99
     assert by_multiplier[3.0]["mean_reach"] >= 0.99
     # the small-quorum configuration is allowed to degrade (that is the point)
@@ -65,6 +66,7 @@ def test_default_multiplier_reaches_everyone(ablation_rows):
 
 
 def test_report_table(ablation_rows, record_table, benchmark):
-    record_table("ablation_quorum_size", ablation_rows,
+    _, means = ablation_rows
+    record_table("ablation_quorum_size", means,
                  "Ablation — quorum size multiplier vs reach and cost (n=64)")
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

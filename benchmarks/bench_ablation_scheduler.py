@@ -7,63 +7,35 @@ attribute the slowdown:
 
 * benign random delays, no adversary;
 * worst-case delays only (`slow_knowledgeable`, no Byzantine traffic);
-* overload traffic only (cornering with delays disabled);
+* overload traffic only (`cornering_nodelay`: cornering with delays disabled);
 * the full cornering attack (traffic + delays).
+
+Every regime is addressable by adversary registry name, so the grid runs
+through the ``ablation_scheduler`` report section's plan — one row source
+with EXPERIMENTS.md.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.adversary.cornering import CorneringAdversary
-from repro.adversary.base import AdversaryKnowledge
-from repro.core.config import AERConfig
-from repro.core.scenario import make_scenario
-from repro.runner import make_adversary, run_aer
+from repro.report.sections import ABLATION_SCHEDULER
 
 N = 64
 SEED = 12
 
+PLAN = ABLATION_SCHEDULER.plan_for(N, seeds=(SEED,))
+
 
 @pytest.fixture(scope="module")
-def scheduler_rows():
-    config = AERConfig.for_system(N, sampler_seed=SEED)
-    scenario = make_scenario(N, config=config, t=N // 6, knowledge_fraction=0.78, seed=SEED)
-    samplers = config.build_samplers()
-    knowledge = AdversaryKnowledge(config=config, samplers=samplers, scenario=scenario)
-
-    regimes = {
-        "random delays, no adversary": None,
-        "worst-case delays only": make_adversary("slow_knowledgeable", scenario, config, samplers),
-        "overload traffic only": CorneringAdversary(
-            scenario.byzantine_ids, knowledge, delay_honest=False
-        ),
-        "overload + worst-case delays": make_adversary("cornering", scenario, config, samplers),
-    }
-    rows = []
-    for label, adversary in regimes.items():
-        result = run_aer(
-            scenario, config=config, adversary=adversary, mode="async", seed=SEED, samplers=samplers
-        )
-        rows.append({
-            "regime": label,
-            "span": round(result.span or -1, 2),
-            "amortized_bits": round(result.metrics.amortized_bits, 1),
-            "reach": round(result.fraction_decided(scenario.gstring), 4),
-        })
-    return rows
+def scheduler_rows(run_plan):
+    sweep = run_plan(PLAN)
+    return [ABLATION_SCHEDULER.record_row(record) for record in sweep.records]
 
 
 def test_benchmark_full_attack(benchmark):
-    result = benchmark.pedantic(
-        lambda: run_aer(
-            make_scenario(N, config=AERConfig.for_system(N, sampler_seed=SEED),
-                          t=N // 6, knowledge_fraction=0.78, seed=SEED),
-            config=AERConfig.for_system(N, sampler_seed=SEED),
-            adversary_name="cornering", mode="async", seed=SEED,
-        ),
-        rounds=1, iterations=1,
-    )
+    spec = next(s for s in PLAN.specs() if s.adversary == "cornering")
+    result = benchmark.pedantic(spec.run, rounds=1, iterations=1)
     assert result.span is not None
 
 

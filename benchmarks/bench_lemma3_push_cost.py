@@ -1,10 +1,17 @@
 """Lemma 3 — the push phase costs O(s · log n) bits per correct node.
 
 Reproduction: run AER with the push-flooding adversary (the worst case for
-this phase, since flooding cannot trigger any reaction), log every message,
-and measure the *push-phase* bits sent per correct node.  The paper's claim
-is that this is ``O(s · log n)`` with ``s = O(log n)`` — i.e. it grows only
-poly-logarithmically and is a negligible share of the total cost.
+this phase, since flooding cannot trigger any reaction) under ``summary``
+tracing, and read the *push-phase* bits sent per correct node off the trace
+block.  The paper's claim is that this is ``O(s · log n)`` with
+``s = O(log n)`` — i.e. it grows only poly-logarithmically and is a
+negligible share of the total cost.
+
+The sweep runs as an :class:`repro.experiments.ExperimentPlan` on the sweep
+subsystem; the plan and the table rows come from the ``lemma3`` report
+section, so this benchmark and the corresponding EXPERIMENTS.md section
+share one row source (the per-node push accounting travels on
+``ExperimentRecord.trace`` instead of a per-message log).
 """
 
 from __future__ import annotations
@@ -12,58 +19,27 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.complexity import growth_exponent
-from repro.core.config import AERConfig
-from repro.core.scenario import build_aer_nodes, make_scenario
-from repro.net.sync import SynchronousSimulator
-from repro.runner import make_adversary
+from repro.experiments.plan import ExperimentSpec
+from repro.report.sections import LEMMA3
 
 SIZES = [32, 64, 128]
 SEED = 3
 
-
-def push_phase_cost(n: int, seed: int = SEED):
-    """Return (max push bits sent by a correct node, mean push bits, total bits)."""
-    config = AERConfig.for_system(n, sampler_seed=seed)
-    scenario = make_scenario(n, config=config, t=n // 6, knowledge_fraction=0.78, seed=seed)
-    samplers = config.build_samplers()
-    nodes = build_aer_nodes(scenario, config, samplers=samplers)
-    adversary = make_adversary("push_flood", scenario, config, samplers)
-    sim = SynchronousSimulator(
-        nodes=nodes, n=n, adversary=adversary, seed=seed, size_model=config.size_model()
-    )
-    sim.metrics.enable_message_log()
-    result = sim.run()
-
-    push_sent = {node_id: 0 for node_id in scenario.correct_ids}
-    for sender, _dest, kind, bits, _time in sim.metrics.message_log:
-        if kind == "push" and sender in push_sent:
-            push_sent[sender] += bits
-    per_node = list(push_sent.values())
-    return max(per_node), sum(per_node) / len(per_node), result
+PLAN = LEMMA3.plan_for(SIZES, seeds=(SEED,))
 
 
 @pytest.fixture(scope="module")
-def lemma3_rows():
-    rows = []
-    max_series = []
-    for n in SIZES:
-        worst, mean, result = push_phase_cost(n)
-        config = AERConfig.for_system(n)
-        rows.append({
-            "n": n,
-            "push_bits_max": worst,
-            "push_bits_mean": round(mean, 1),
-            "s_log_n_reference": config.string_length * config.quorum_size,
-            "total_amortized_bits": round(result.metrics.amortized_bits, 1),
-            "agreement": int(result.agreement_reached),
-        })
-        max_series.append(worst)
+def lemma3_rows(run_plan):
+    sweep = run_plan(PLAN)
+    rows = [LEMMA3.record_row(record) for record in sweep.records]
+    max_series = [row["push_bits_max"] for row in rows]
     return rows, max_series
 
 
 def test_benchmark_push_phase_measurement(benchmark):
-    worst, mean, result = benchmark.pedantic(lambda: push_phase_cost(64), rounds=1, iterations=1)
-    assert worst > 0
+    spec = ExperimentSpec(n=64, adversary="push_flood", seed=SEED, trace="summary")
+    result = benchmark.pedantic(spec.run, rounds=1, iterations=1)
+    assert result.trace["push"]["max_node_bits"] > 0
 
 
 def test_push_cost_tracks_s_log_n(lemma3_rows):

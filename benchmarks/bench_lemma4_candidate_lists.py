@@ -5,63 +5,44 @@ attack: it searches for strings whose push quorum at some victim has a
 corrupt majority and forces them into that victim's list.  Lemma 4 says the
 total damage is still linear in ``n`` (amortized O(1) strings per node).
 
-Reproduction: run AER under that adversary for a sweep of ``n`` and report
-``Σ_x |L_x|`` together with the number of strings the adversary managed to
-force; assert the sum stays within a small constant times ``n``.
+Reproduction: run AER under that adversary for a sweep of ``n`` with
+``summary`` tracing — the candidate-list totals come from the trace's
+``candidate_added`` probe and the forced-string count from the adversary's
+own counter, both riding on ``ExperimentRecord.trace``/``extras`` — and
+assert the sum stays within a small constant times ``n``.  The plan and the
+table rows come from the ``lemma4`` report section (one row source with
+EXPERIMENTS.md).
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core.config import AERConfig
-from repro.core.scenario import build_aer_nodes, make_scenario
-from repro.net.sync import SynchronousSimulator
-from repro.runner import make_adversary
+from repro.experiments.plan import ExperimentSpec
+from repro.report.sections import LEMMA4
 
 SIZES = [32, 64, 128]
 SEED = 4
 
-
-def candidate_list_total(n: int, seed: int = SEED):
-    config = AERConfig.for_system(n, sampler_seed=seed)
-    scenario = make_scenario(
-        n, config=config, t=n // 6, knowledge_fraction=0.78,
-        wrong_candidate_mode="common_wrong", seed=seed,
-    )
-    samplers = config.build_samplers()
-    nodes = build_aer_nodes(scenario, config, samplers=samplers)
-    adversary = make_adversary("quorum_flood", scenario, config, samplers)
-    sim = SynchronousSimulator(
-        nodes=nodes, n=n, adversary=adversary, seed=seed, size_model=config.size_model()
-    )
-    result = sim.run()
-    total = sum(node.push_engine.candidate_list_size for node in nodes)
-    biggest = max(node.push_engine.candidate_list_size for node in nodes)
-    return total, biggest, adversary.total_forced, result
+PLAN = LEMMA4.plan_for(SIZES, seeds=(SEED,))
 
 
 @pytest.fixture(scope="module")
-def lemma4_rows():
-    rows = []
-    for n in SIZES:
-        total, biggest, forced, result = candidate_list_total(n)
-        rows.append({
-            "n": n,
-            "sum_candidate_lists": total,
-            "sum_over_n": round(total / n, 2),
-            "largest_single_list": biggest,
-            "strings_forced_by_adversary": forced,
-            "agreement": int(result.agreement_reached),
-        })
-    return rows
+def lemma4_rows(run_plan):
+    sweep = run_plan(PLAN)
+    return [LEMMA4.record_row(record) for record in sweep.records]
 
 
 def test_benchmark_candidate_list_run(benchmark):
-    total, biggest, forced, result = benchmark.pedantic(
-        lambda: candidate_list_total(64), rounds=1, iterations=1
+    spec = ExperimentSpec(
+        n=64,
+        adversary="quorum_flood",
+        wrong_candidate_mode="common_wrong",
+        seed=SEED,
+        trace="summary",
     )
-    assert total >= len(result.correct_ids)
+    result = benchmark.pedantic(spec.run, rounds=1, iterations=1)
+    assert result.trace["candidates"]["total"] >= result.correct_count
 
 
 def test_sum_is_linear_in_n(lemma4_rows):

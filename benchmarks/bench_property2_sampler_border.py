@@ -4,7 +4,9 @@ The paper proves (via the random digraph model of Figure 3) that w.h.p. no
 small family ``L`` of labelled nodes keeps more than a third of its poll-list
 edges inside its own node set: ``P[|∂L| ≤ (2/3)·d·|L|] = o(2^{-n})``.
 
-Reproduction, two ways:
+Reproduction, two ways (both inside the ``sampler_border`` protocol adapter,
+so the grid runs on the sweep subsystem and the rows come from the
+``property2`` report section — one row source with EXPERIMENTS.md):
 
 * Monte-Carlo on the *random digraph model itself* (fresh iid edges per
   trial), estimating the failure probability per family size — expected to be
@@ -16,66 +18,45 @@ Reproduction, two ways:
 
 from __future__ import annotations
 
-import math
-import random
-
 import pytest
 
-from repro.core.config import AERConfig
-from repro.samplers.poll_sampler import PollSampler
-from repro.samplers.properties import worst_family_border_ratio
-from repro.samplers.random_graph import estimate_border_probability
+from repro.experiments.plan import ExperimentSpec
+from repro.report.sections import PROPERTY2
 
 SIZES = [64, 128]
 SEED = 9
 
+PLAN = PROPERTY2.plan_for(SIZES, seeds=(SEED,))
+
 
 @pytest.fixture(scope="module")
-def property2_rows():
-    model_rows = []
-    for n in SIZES:
-        failures = estimate_border_probability(n=n, trials=60, seed=SEED)
-        for size, probability in sorted(failures.items()):
-            model_rows.append({
-                "n": n,
-                "family_size": size,
-                "failure_probability": probability,
-                "paper_bound": "o(2^-n)",
-            })
+def property2_records(run_plan):
+    return run_plan(PLAN).records
 
-    sampler_rows = []
-    for n in SIZES:
-        config = AERConfig.for_system(n, sampler_seed=SEED)
-        sampler = PollSampler(config.sampler_spec())
-        rng = random.Random(SEED)
-        family_size = max(2, int(n / math.log2(n)))
-        worst_random = worst_family_border_ratio(sampler, family_size, trials=20, rng=rng, greedy=False)
-        worst_greedy = worst_family_border_ratio(sampler, family_size, trials=3, rng=rng, greedy=True)
-        sampler_rows.append({
-            "n": n,
-            "family_size": family_size,
-            "worst_ratio_random_families": round(worst_random, 3),
-            "worst_ratio_greedy_attack": round(worst_greedy, 3),
-            "property2_threshold": round(2 / 3, 3),
-        })
-    return model_rows, sampler_rows
+
+@pytest.fixture(scope="module")
+def property2_rows(property2_records):
+    return [PROPERTY2.record_row(record) for record in property2_records]
 
 
 def test_benchmark_border_estimation(benchmark):
-    failures = benchmark.pedantic(
-        lambda: estimate_border_probability(n=64, trials=30, seed=SEED), rounds=1, iterations=1
+    spec = ExperimentSpec(
+        n=64, protocol="sampler_border", seed=SEED, params={"model_trials": 30}
     )
-    assert failures
+    result = benchmark.pedantic(spec.run, rounds=1, iterations=1)
+    assert result.extras["model_failures"]
 
 
-def test_model_failure_probability_is_zero(property2_rows):
-    model_rows, _ = property2_rows
-    assert all(row["failure_probability"] == 0.0 for row in model_rows)
+def test_model_failure_probability_is_zero(property2_records):
+    # Per-family-size Monte-Carlo probabilities, all exactly zero.
+    for record in property2_records:
+        failures = record.extras["model_failures"]
+        assert failures
+        assert all(probability == 0.0 for probability in failures.values())
 
 
 def test_concrete_sampler_expands(property2_rows):
-    _, sampler_rows = property2_rows
-    for row in sampler_rows:
+    for row in property2_rows:
         # Families the adversary cannot tailor (random labels) expand well above 2/3.
         assert row["worst_ratio_random_families"] > 2 / 3
         # The greedy label-shopping attack can graze the 2/3 threshold at these
@@ -84,10 +65,21 @@ def test_concrete_sampler_expands(property2_rows):
         assert row["worst_ratio_greedy_attack"] > 0.6
 
 
-def test_report_table(property2_rows, record_table, benchmark):
-    model_rows, sampler_rows = property2_rows
+def test_report_table(property2_records, property2_rows, record_table, benchmark):
+    model_rows = [
+        {
+            "n": record.spec.n,
+            "family_size": size,
+            "failure_probability": probability,
+            "paper_bound": "o(2^-n)",
+        }
+        for record in property2_records
+        for size, probability in sorted(
+            record.extras["model_failures"].items(), key=lambda kv: int(kv[0])
+        )
+    ]
     record_table("property2_digraph_model", model_rows,
                  "Section 4.1 — border failure probability in the random digraph model")
-    record_table("property2_hash_sampler", sampler_rows,
+    record_table("property2_hash_sampler", property2_rows,
                  "Section 4.1 — expansion of the concrete keyed-hash sampler J")
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

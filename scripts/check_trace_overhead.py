@@ -1,0 +1,118 @@
+"""Perf guard: the ``trace="off"`` sweep must match the committed kernel baseline.
+
+The trace subsystem's contract is that *disabled* tracing is free: a spec
+with ``trace="off"`` constructs no collector and every probe site reduces to
+one ``is not None`` check per grouped dispatch record.  This guard re-times
+the fixed BENCH_kernel sweep (the same specs, min-of-N like the recorded
+numbers) **through the spec/trace plumbing** with ``trace="off"`` and fails
+if any case is slower than the committed ``BENCH_kernel.json`` seconds by
+more than the tolerance (default 5%, per-case override via ``--tolerance``).
+
+Determinism is checked too — total messages/bits must equal the committed
+case records exactly, on any machine.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python scripts/check_trace_overhead.py [--tolerance 0.05]
+        [--repeats 3] [--baseline BENCH_kernel.json] [--no-timing]
+
+``--no-timing`` restricts the guard to the determinism half — what CI on
+unknown-speed shared runners should use; run the timing half on the machine
+that recorded the committed baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.experiments.bench import FIXED_SWEEP
+
+
+def run_guard(
+    baseline_path: str,
+    tolerance: float,
+    repeats: int,
+    check_timing: bool = True,
+) -> int:
+    with open(baseline_path, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    committed = {case["key"]: case for case in baseline["cases"]}
+
+    failures = []
+    for spec in FIXED_SWEEP:
+        spec = spec.with_(trace="off")  # the zero-cost path, explicitly
+        reference = committed.get(spec.key)
+        if reference is None:
+            print(f"{spec.key}: no committed baseline case, skipping")
+            continue
+        times = []
+        result = None
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            result = spec.run()
+            times.append(time.perf_counter() - start)
+        seconds = min(times)
+        assert result is not None
+
+        if result.trace is not None:
+            failures.append(f"{spec.key}: trace='off' still produced a trace block")
+        if result.total_messages != reference["total_messages"]:
+            failures.append(
+                f"{spec.key}: total_messages {result.total_messages} != committed "
+                f"{reference['total_messages']} (behaviour drifted)"
+            )
+        if result.total_bits != reference["total_bits"]:
+            failures.append(
+                f"{spec.key}: total_bits {result.total_bits} != committed "
+                f"{reference['total_bits']} (behaviour drifted)"
+            )
+
+        budget = float(reference["seconds"]) * (1.0 + tolerance)
+        verdict = "ok"
+        if check_timing and seconds > budget:
+            verdict = "TOO SLOW"
+            failures.append(
+                f"{spec.key}: {seconds:.3f}s > committed {reference['seconds']}s "
+                f"+ {tolerance:.0%} tolerance ({budget:.3f}s)"
+            )
+        print(
+            f"{spec.key}: {seconds:.3f}s (committed {reference['seconds']}s, "
+            f"budget {budget:.3f}s) [{verdict}]"
+        )
+
+    if failures:
+        print("\ntrace-overhead guard FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\ntrace-overhead guard passed: trace='off' is within the committed baseline.")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default="BENCH_kernel.json")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.05,
+        help="allowed slowdown vs the committed per-case seconds (default 0.05)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timed repetitions per case; the minimum counts (default 3)",
+    )
+    parser.add_argument(
+        "--no-timing", action="store_true",
+        help="skip the wall-clock comparison (determinism checks only); for CI "
+             "runners whose speed is unrelated to the committed baseline's machine",
+    )
+    args = parser.parse_args(argv)
+    return run_guard(
+        args.baseline, args.tolerance, args.repeats, check_timing=not args.no_timing
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -135,3 +135,15 @@ class CorneringAdversary(Adversary):
     def attacked_targets(self) -> int:
         """Number of distinct poll-list members this adversary tried to overload."""
         return len(self._attacked)
+
+
+@register_adversary("cornering_nodelay")
+def cornering_traffic_only(byzantine_ids, knowledge: AdversaryKnowledge):
+    """Cornering's overload traffic with honest delays left to the benign policy.
+
+    The scheduler-ablation regime that attributes the asynchronous slowdown:
+    the adversary still floods the poll-list members honest pollers depend
+    on, but no longer stretches correct-to-correct delays — isolating the
+    cost of Byzantine *traffic* from the cost of Byzantine *scheduling*.
+    """
+    return CorneringAdversary(byzantine_ids, knowledge, delay_honest=False)

@@ -24,7 +24,9 @@ Extension points (all decorator-based; see ARCHITECTURE.md layer 4):
 * :func:`register_delay_policy` — a new asynchronous delay policy;
 * :func:`register_scenario` — a new scenario generator;
 * :func:`register_report_section` — a new EXPERIMENTS.md section
-  (:class:`ReportSection`; rendered by ``python -m repro report``).
+  (:class:`ReportSection`; rendered by ``python -m repro report``);
+* :func:`register_probe` — a new trace probe point
+  (:class:`ProbePoint`; emitted through :class:`TraceCollector`).
 """
 
 from __future__ import annotations
@@ -72,6 +74,15 @@ from repro.report import (
     register_report_section,
     render_registries,
 )
+from repro.trace import (
+    PROBE_POINTS,
+    ProbePoint,
+    TraceCollector,
+    TraceSummary,
+    collector_for_spec,
+    get_probe,
+    register_probe,
+)
 
 __all__ = [
     # registries and their decorators
@@ -80,9 +91,11 @@ __all__ = [
     "DELAY_POLICIES", "register_delay_policy", "make_delay_policy", "list_delay_policies",
     "SCENARIOS", "register_scenario", "make_scenario_by_name", "list_scenarios",
     "REPORT_SECTIONS", "register_report_section", "get_report_section", "list_report_sections",
+    "PROBE_POINTS", "register_probe", "get_probe",
     # contracts and records
     "ProtocolAdapter", "RunResult", "Adversary", "AdversaryKnowledge",
     "DelayPolicy", "AERScenario", "make_scenario", "ReportSection",
+    "ProbePoint", "TraceCollector", "TraceSummary", "collector_for_spec",
     # orchestration
     "ExperimentSpec", "ExperimentPlan", "ExperimentRecord",
     "SweepRunner", "SweepResult", "run_sweep", "execute_spec",

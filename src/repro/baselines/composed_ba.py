@@ -88,6 +88,7 @@ def run_composed_ba(
     t: Optional[int] = None,
     seed: int = 0,
     max_rounds: int = 64,
+    trace=None,
 ) -> ComposedBAResult:
     """Run the almost-everywhere stage and then a baseline everywhere stage.
 
@@ -118,15 +119,18 @@ def run_composed_ba(
         max_rounds=max_rounds,
         min_rounds=FINALIZE_ROUND + 1,
         size_model=SizeModel(n=n),
+        trace=trace,
     )
     ae_result = ae_sim.run()
     scenario = scenario_from_ae_run(ae_nodes, n, byzantine_ids, aer_config.string_length)
+    if trace is not None:
+        trace.stage_boundary()
 
     if strategy == "sample_majority":
         config = SampleMajorityConfig.for_system(n, string_length=aer_config.string_length)
-        everywhere = run_sample_majority(scenario, config=config, seed=seed + 1)
+        everywhere = run_sample_majority(scenario, config=config, seed=seed + 1, trace=trace)
     elif strategy == "naive":
-        everywhere = run_naive_broadcast(scenario, seed=seed + 1)
+        everywhere = run_naive_broadcast(scenario, seed=seed + 1, trace=trace)
     else:
         raise ValueError(f"unknown composition strategy {strategy!r}")
 

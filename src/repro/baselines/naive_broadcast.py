@@ -57,8 +57,14 @@ def run_naive_broadcast(
     adversary: Optional[AdversaryProtocol] = None,
     seed: int = 0,
     max_rounds: int = 8,
+    trace=None,
 ) -> SimulationResult:
-    """Run the naive broadcast baseline on an AER scenario."""
+    """Run the naive broadcast baseline on an AER scenario.
+
+    ``trace`` attaches an optional collector; the baseline has no engine
+    probes of its own, so it contributes kernel-level events only
+    (message-kind histograms, decision times).
+    """
     nodes = [
         NaiveBroadcastNode(node_id, scenario.n, scenario.candidates[node_id])
         for node_id in scenario.correct_ids
@@ -70,5 +76,6 @@ def run_naive_broadcast(
         seed=seed,
         max_rounds=max_rounds,
         size_model=SizeModel(n=scenario.n),
+        trace=trace,
     )
     return simulator.run()

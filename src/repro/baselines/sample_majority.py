@@ -74,10 +74,17 @@ class SampleMajorityConfig:
 class SampleMajorityNode(Node):
     """A correct participant of the sampled-majority baseline."""
 
-    def __init__(self, node_id: int, config: SampleMajorityConfig, initial_candidate: str) -> None:
+    def __init__(
+        self,
+        node_id: int,
+        config: SampleMajorityConfig,
+        initial_candidate: str,
+        trace=None,
+    ) -> None:
         super().__init__(node_id)
         self.config = config
         self.initial_candidate = initial_candidate
+        self.trace = trace
         self._replies: Dict[str, Set[int]] = {}
         self._queried: Set[int] = set()
         self._replies_sent = 0
@@ -96,7 +103,12 @@ class SampleMajorityNode(Node):
         if isinstance(message, QueryMessage):
             if self._replies_sent < self.config.reply_budget:
                 self._replies_sent += 1
+                if self.trace is not None:
+                    self.trace.poll_answered(self.node_id, sender)
                 self.send(sender, AnswerMessage(candidate=self.initial_candidate))
+            elif self.trace is not None:
+                # The per-node reply budget (the baseline's flood filter) bit.
+                self.trace.budget_exhausted(self.node_id)
         elif isinstance(message, AnswerMessage):
             if self.has_decided or sender not in self._queried:
                 return
@@ -112,6 +124,7 @@ def run_sample_majority(
     adversary: Optional[AdversaryProtocol] = None,
     seed: int = 0,
     max_rounds: int = 16,
+    trace=None,
 ) -> SimulationResult:
     """Run the baseline on an AER scenario and return the simulation result."""
     if config is None:
@@ -119,7 +132,7 @@ def run_sample_majority(
             scenario.n, string_length=len(scenario.gstring)
         )
     nodes = [
-        SampleMajorityNode(node_id, config, scenario.candidates[node_id])
+        SampleMajorityNode(node_id, config, scenario.candidates[node_id], trace=trace)
         for node_id in scenario.correct_ids
     ]
     simulator = SynchronousSimulator(
@@ -129,5 +142,6 @@ def run_sample_majority(
         seed=seed,
         max_rounds=max_rounds,
         size_model=SizeModel(n=scenario.n),
+        trace=trace,
     )
     return simulator.run()

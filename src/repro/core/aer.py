@@ -46,6 +46,10 @@ class AERNode(Node):
     initial_candidate:
         The node's candidate string ``s_x`` — equal to ``gstring`` for
         knowledgeable nodes, arbitrary otherwise.
+    trace:
+        Optional :class:`~repro.trace.collector.TraceCollector` shared by
+        every node of the run; threaded into both phase engines.  ``None``
+        (the default) disables tracing at zero cost.
     """
 
     def __init__(
@@ -54,11 +58,13 @@ class AERNode(Node):
         config: AERConfig,
         samplers: SamplerSuite,
         initial_candidate: str,
+        trace=None,
     ) -> None:
         super().__init__(node_id)
         self.config = config
         self.samplers = samplers
         self.initial_candidate = initial_candidate
+        self.trace = trace
         #: the string this node currently believes to be ``gstring`` (``s_this``)
         self.believed: str = initial_candidate
         self._pull_phase_started = False
@@ -67,12 +73,14 @@ class AERNode(Node):
             node_id=node_id,
             push_sampler=samplers.push,
             initial_candidate=initial_candidate,
+            trace=trace,
         )
         self.pull_engine = PullEngine(
             owner=self,
             pull_sampler=samplers.pull,
             poll_sampler=samplers.poll,
             answer_budget=config.answer_budget,
+            trace=trace,
         )
         # Exact-type dispatch table for the hot message loop; unknown types
         # fall back to the isinstance chain (and are ultimately ignored).
@@ -110,10 +118,15 @@ class AERNode(Node):
     # ------------------------------------------------------------------
     def on_start(self) -> None:
         """Send the push-phase messages and (eagerly) start verifying ``s_x``."""
-        push = PushMessage(candidate=self.initial_candidate)
-        self.send_many(self.push_engine.push_targets(), push)
+        targets = self.push_engine.push_targets()
+        if self.trace is not None:
+            self.trace.phase_started(self.node_id, "push")
+            self.trace.push_sent(self.node_id, len(targets))
+        self.send_many(targets, PushMessage(candidate=self.initial_candidate))
         if self.config.eager_pull:
             self._pull_phase_started = True
+            if self.trace is not None:
+                self.trace.phase_started(self.node_id, "pull")
             self.pull_engine.start_poll(self.initial_candidate)
 
     def on_round(self, round_no: int) -> None:
@@ -122,6 +135,8 @@ class AERNode(Node):
             return
         if round_no >= self.config.pull_start_round:
             self._pull_phase_started = True
+            if self.trace is not None:
+                self.trace.phase_started(self.node_id, "pull")
             for candidate in sorted(self.push_engine.candidates):
                 self.pull_engine.start_poll(candidate)
 

@@ -136,6 +136,10 @@ class BAProtocol:
         Optional ``f(byzantine_ids, ae_config, tree) -> adversary`` for stage 1.
     aer_adversary_factory:
         Optional ``f(scenario, aer_config, samplers) -> adversary`` for stage 2.
+    trace:
+        Optional :class:`~repro.trace.collector.TraceCollector` shared by
+        both stages: kernel-level probes fire in stage 1 and stage 2, and
+        the AER engine probes in stage 2.
     """
 
     def __init__(
@@ -144,10 +148,12 @@ class BAProtocol:
         byzantine_ids=None,
         ae_adversary_factory: Optional[Callable] = None,
         aer_adversary_factory: Optional[Callable] = None,
+        trace=None,
     ) -> None:
         self.config = config
         self.ae_adversary_factory = ae_adversary_factory
         self.aer_adversary_factory = aer_adversary_factory
+        self.trace = trace
         rng = derive_rng(config.seed, "ba", config.n)
         if byzantine_ids is None:
             self.byzantine_ids = frozenset(
@@ -200,6 +206,7 @@ class BAProtocol:
             max_rounds=config.max_rounds,
             min_rounds=FINALIZE_ROUND + 1,
             size_model=aer_config.size_model(),
+            trace=self.trace,
         )
         ae_result = ae_sim.run()
         scenario = scenario_from_ae_run(
@@ -208,7 +215,12 @@ class BAProtocol:
 
         # ---- stage 2: AER ---------------------------------------------------
         samplers = aer_config.build_samplers()
-        aer_nodes = build_aer_nodes(scenario, aer_config, samplers=samplers)
+        if self.trace is not None:
+            self.trace.stage_boundary()
+            self.trace.mark_string("gstring", scenario.gstring)
+        aer_nodes = build_aer_nodes(
+            scenario, aer_config, samplers=samplers, trace=self.trace
+        )
         aer_adversary = None
         if self.aer_adversary_factory is not None:
             aer_adversary = self.aer_adversary_factory(scenario, aer_config, samplers)
@@ -222,6 +234,7 @@ class BAProtocol:
                 rushing=config.rushing,
                 max_rounds=config.max_rounds,
                 size_model=aer_config.size_model(),
+                trace=self.trace,
             )
         elif config.aer_mode == "async":
             aer_sim = AsynchronousSimulator(
@@ -230,6 +243,7 @@ class BAProtocol:
                 adversary=aer_adversary,
                 seed=config.seed + 1,
                 size_model=aer_config.size_model(),
+                trace=self.trace,
             )
         else:
             raise ValueError(f"unknown aer_mode {config.aer_mode!r}")

@@ -80,11 +80,14 @@ class PullEngine:
         pull_sampler: QuorumSampler,
         poll_sampler: PollSampler,
         answer_budget: int,
+        trace=None,
     ) -> None:
         self.owner = owner
         self.pull_sampler = pull_sampler
         self.poll_sampler = poll_sampler
         self.answer_budget = answer_budget
+        #: optional TraceCollector for the poll/answer/budget probes
+        self.trace = trace
         # Shared across every engine bound to this sampler suite: the sender
         # and poll-list membership checks of an Fw1 message are pure functions
         # of the message and its sender, so the d recipients of one multicast
@@ -138,10 +141,13 @@ class PullEngine:
         self.labels[candidate] = label
         self._answers.setdefault(candidate, set())
 
-        poll = PollMessage(candidate=candidate, label=label)
-        self.owner.send_many(self.poll_sampler.poll_list(self.owner.node_id, label), poll)
-        pull = PullMessage(candidate=candidate, label=label)
-        self.owner.send_many(self.pull_sampler.quorum(candidate, self.owner.node_id), pull)
+        poll_list = self.poll_sampler.poll_list(self.owner.node_id, label)
+        quorum = self.pull_sampler.quorum(candidate, self.owner.node_id)
+        if self.trace is not None:
+            self.trace.poll_started(self.owner.node_id, len(poll_list), len(quorum))
+            self.trace.quorum_contacted(self.owner.node_id, len(quorum))
+        self.owner.send_many(poll_list, PollMessage(candidate=candidate, label=label))
+        self.owner.send_many(quorum, PullMessage(candidate=candidate, label=label))
 
     def on_answer(self, sender: int, message: AnswerMessage) -> None:
         """Count an ``Answer`` towards the decision threshold (Algorithm 1)."""
@@ -281,10 +287,14 @@ class PullEngine:
         if not self.owner.has_decided and self.answers_sent >= self.answer_budget:
             # Algorithm 3: "if Count > log² n: wait for has_decided".
             self._deferred_answers.append(key)
+            if self.trace is not None:
+                self.trace.budget_exhausted(self.owner.node_id)
             return
         self._answered.add(key)
         if not self.owner.has_decided:
             self.answers_sent += 1
+        if self.trace is not None:
+            self.trace.poll_answered(self.owner.node_id, origin)
         self.owner.send(origin, AnswerMessage(candidate=candidate))
 
     # ------------------------------------------------------------------

@@ -40,6 +40,10 @@ class PushEngine:
         cannot make it accept them), and this cap bounds the memory cost of
         doing so.  The cap is far above anything reachable in the experiments
         and exists only so that memory use is provably bounded.
+    trace:
+        Optional :class:`~repro.trace.collector.TraceCollector` receiving the
+        ``push_ignored`` / ``candidate_added`` probes; ``None`` disables
+        tracing at zero cost.
     """
 
     def __init__(
@@ -48,11 +52,15 @@ class PushEngine:
         push_sampler: QuorumSampler,
         initial_candidate: str,
         max_tracked_strings: int = 100_000,
+        trace=None,
     ) -> None:
         self.node_id = node_id
         self.push_sampler = push_sampler
         self.initial_candidate = initial_candidate
         self.max_tracked_strings = max_tracked_strings
+        self.trace = trace
+        if trace is not None:
+            trace.candidate_holder(node_id, initial_candidate)
         #: the candidate list ``L_x``
         self.candidates: Set[str] = {initial_candidate}
         #: per-string set of quorum members that pushed it
@@ -88,12 +96,16 @@ class PushEngine:
         if not table.contains(self.node_id, sender):
             # The filter of Section 3.1.1: pushes from outside I(s, x) are ignored.
             self.ignored_pushes += 1
+            if self.trace is not None:
+                self.trace.push_ignored(self.node_id)
             return None
 
         votes = self._votes.get(candidate)
         if votes is None:
             if len(self._votes) >= self.max_tracked_strings:
                 self.ignored_pushes += 1
+                if self.trace is not None:
+                    self.trace.push_ignored(self.node_id)
                 return None
             votes = set()
             self._votes[candidate] = votes
@@ -102,6 +114,8 @@ class PushEngine:
         if len(votes) >= table.threshold(self.node_id):
             self.candidates.add(candidate)
             del self._votes[candidate]
+            if self.trace is not None:
+                self.trace.candidate_added(self.node_id, candidate)
             return candidate
         return None
 

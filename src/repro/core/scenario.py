@@ -173,11 +173,13 @@ def build_aer_nodes(
     scenario: AERScenario,
     config: AERConfig,
     samplers: Optional[SamplerSuite] = None,
+    trace=None,
 ) -> List[AERNode]:
     """Construct the correct-node population for a scenario.
 
     All nodes share the same :class:`~repro.core.config.SamplerSuite`, built
-    from the configuration when not supplied explicitly.
+    from the configuration when not supplied explicitly, and the same
+    optional :class:`~repro.trace.collector.TraceCollector`.
     """
     if samplers is None:
         samplers = config.build_samplers()
@@ -187,6 +189,7 @@ def build_aer_nodes(
             config=config,
             samplers=samplers,
             initial_candidate=scenario.candidates[node_id],
+            trace=trace,
         )
         for node_id in scenario.correct_ids
     ]

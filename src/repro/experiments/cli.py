@@ -8,6 +8,8 @@ Subcommands
 
         python -m repro run --n 64 --adversary silent --mode async
         python -m repro run --n 64 --protocol composed_ba --param strategy=naive
+        python -m repro run --n 64 --trace summary
+        python -m repro run --n 64 --trace full --trace-dir traces/
 
 ``sweep``
     A grid across multiprocessing workers — any protocol mix — optionally
@@ -44,12 +46,20 @@ Subcommands
 Protocol-specific parameters are passed as repeated ``--param key=value``
 options; values are parsed as JSON when possible (``--param
 delay_params='{"value": 0.5}'``), else kept as strings.
+
+``--trace {off,summary,full}`` (on ``run`` and ``sweep``) opts runs into the
+trace subsystem: ``summary`` attaches the condensed
+:class:`~repro.trace.collector.TraceSummary` to every record, ``full``
+additionally streams per-event JSONL into ``--trace-dir`` (one file per spec
+key; the directory is exported as ``$REPRO_TRACE_DIR`` so multiprocessing
+sweep workers inherit it).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Dict, List, Optional, Sequence
 
@@ -94,6 +104,28 @@ def _add_shared_spec_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default="off",
+        choices=["off", "summary", "full"],
+        help="instrumentation level: summary attaches a TraceSummary to every "
+             "record, full additionally streams per-event JSONL (default: off)",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="where --trace full writes per-spec JSONL files "
+             "(exported as $REPRO_TRACE_DIR for sweep workers)",
+    )
+
+
+def _apply_trace_dir(args: argparse.Namespace) -> None:
+    if getattr(args, "trace_dir", None):
+        os.environ["REPRO_TRACE_DIR"] = args.trace_dir
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -108,6 +140,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--mode", default="sync", choices=["sync", "async"])
     run.add_argument("--seed", type=int, default=0)
     _add_shared_spec_options(run)
+    _add_trace_options(run)
 
     sweep = sub.add_parser("sweep", help="run a grid of experiments in parallel")
     sweep.add_argument("--ns", type=_csv_ints, required=True, help="e.g. 32,64,128")
@@ -118,6 +151,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--modes", type=_csv_strs, default=["sync"])
     sweep.add_argument("--seeds", type=_csv_ints, default=[0])
     _add_shared_spec_options(sweep)
+    _add_trace_options(sweep)
     sweep.add_argument("--jobs", type=int, default=None, help="worker processes")
     sweep.add_argument("--out", default=None, help="persist records as JSON here")
 
@@ -192,6 +226,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def cmd_run(args: argparse.Namespace) -> int:
     try:
+        _apply_trace_dir(args)
         spec = ExperimentSpec(
             n=args.n,
             protocol=args.protocol,
@@ -202,6 +237,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             t=args.t,
             knowledge_fraction=args.knowledge_fraction,
             quorum_multiplier=args.quorum_multiplier,
+            trace=args.trace,
             params=_parse_params(args.param),
         )
         result = spec.run()
@@ -211,6 +247,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(format_table([run_result_row(result)], title=f"experiment {spec.key}"))
     if result.extras:
         print("extras: " + ", ".join(f"{k}={v}" for k, v in sorted(result.extras.items())))
+    if result.trace is not None:
+        events = result.trace.get("events", {})
+        print("trace events: " + ", ".join(f"{k}={v}" for k, v in sorted(events.items())))
+        full = result.trace.get("full")
+        if full and full.get("jsonl_path"):
+            print(f"trace JSONL written to {full['jsonl_path']}")
     return 0
 
 
@@ -225,6 +267,7 @@ def _build_plan(args: argparse.Namespace, modes: List[str], adversaries: List[st
         t=args.t,
         knowledge_fraction=args.knowledge_fraction,
         quorum_multiplier=args.quorum_multiplier,
+        trace=getattr(args, "trace", "off"),
         params=_parse_params(args.param),
     )
 
@@ -234,6 +277,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print("error: --ns must name at least one system size", file=sys.stderr)
         return 2
     try:
+        _apply_trace_dir(args)
         plan = _build_plan(args, modes=args.modes, adversaries=args.adversaries)
         result = run_sweep(plan, jobs=args.jobs, out=args.out)
     except ValueError as exc:

@@ -23,6 +23,8 @@ import json
 from dataclasses import asdict, dataclass, field, fields, replace
 from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
 
+from repro.trace.collector import TRACE_MODES
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.protocols.base import RunResult
 
@@ -76,6 +78,9 @@ class ExperimentSpec:
     wrong_candidate_mode: str = "random"
     quorum_multiplier: float = 2.0
     label: str = ""
+    #: instrumentation level: "off" (default, guaranteed-free), "summary"
+    #: (condensed TraceSummary on the record) or "full" (adds per-event JSONL)
+    trace: str = "off"
     #: protocol-specific extras as canonical JSON text (construct with a plain
     #: dict — ``params={"strategy": "naive"}`` — and read via params_dict())
     params: str = "{}"
@@ -110,6 +115,11 @@ class ExperimentSpec:
             raise ValueError(
                 "rushing=True is only meaningful under mode='sync'; the "
                 "asynchronous adversary is inherently rushing"
+            )
+        if self.trace not in TRACE_MODES:
+            raise ValueError(
+                f"unknown trace mode {self.trace!r} "
+                f"(expected {', '.join(repr(m) for m in TRACE_MODES)})"
             )
         get_protocol(self.protocol).validate(self)
 
@@ -165,6 +175,8 @@ class ExperimentPlan:
     wrong_candidate_mode: str = "random"
     quorum_multiplier: float = 2.0
     label: str = ""
+    #: instrumentation level shared by every generated spec (off|summary|full)
+    trace: str = "off"
     #: protocol-specific extras shared by every generated spec (canonical
     #: JSON text; construct with a plain dict)
     params: str = "{}"
@@ -195,6 +207,7 @@ class ExperimentPlan:
                 wrong_candidate_mode=self.wrong_candidate_mode,
                 quorum_multiplier=self.quorum_multiplier,
                 label=self.label,
+                trace=self.trace,
                 params=self.params,
             )
             for n in self.ns

@@ -47,6 +47,9 @@ class ExperimentRecord:
     load_imbalance: float
     #: protocol-specific scalars (e.g. knowledge_after_ae for compositions)
     extras: Dict[str, object] = field(default_factory=dict)
+    #: condensed TraceSummary dict when the spec asked for tracing (None
+    #: otherwise); rides through SweepResult JSONs unchanged
+    trace: Optional[Dict[str, object]] = None
 
     @property
     def protocol(self) -> str:
@@ -112,6 +115,7 @@ def execute_spec(spec: ExperimentSpec) -> ExperimentRecord:
         median_node_bits=result.median_node_bits,
         load_imbalance=result.load_imbalance,
         extras=dict(result.extras),
+        trace=result.trace,
     )
 
 

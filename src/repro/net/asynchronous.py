@@ -120,8 +120,11 @@ class AsynchronousSimulator(EventKernel):
         max_time: float = 200.0,
         max_events: int = 2_000_000,
         size_model: Optional[SizeModel] = None,
+        trace=None,
     ) -> None:
-        super().__init__(nodes, n, adversary=adversary, seed=seed, size_model=size_model)
+        super().__init__(
+            nodes, n, adversary=adversary, seed=seed, size_model=size_model, trace=trace
+        )
         self.delay_policy = delay_policy or RandomDelayPolicy()
         self.max_time = max_time
         self.max_events = max_events
@@ -151,6 +154,8 @@ class AsynchronousSimulator(EventKernel):
 
     def dispatch_send(self, sender: int, dest: int, message: Message) -> None:
         bits = self.metrics.record_send(sender, dest, message, self._time)
+        if self.trace is not None:
+            self.trace.on_dispatch(sender, 1, message.kind, bits)
         self._schedule(sender, dest, message, bits)
 
     def dispatch_send_many(self, sender: int, dests: Sequence[int], message: Message) -> None:
@@ -163,6 +168,8 @@ class AsynchronousSimulator(EventKernel):
                 self.dispatch_send(sender, dest, message)
             return
         bits = self.metrics.record_send_many(sender, tuple(dests), message, self._time)
+        if self.trace is not None:
+            self.trace.on_dispatch(sender, len(dests), message.kind, bits)
         uniform = self._uniform_fast
         if uniform is not None:
             low, span = uniform

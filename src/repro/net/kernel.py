@@ -32,6 +32,7 @@ from repro.net.metrics import MetricsCollector
 from repro.net.node import Node
 from repro.net.results import SimulationResult
 from repro.net.rng import DeterministicRNG, derive_rng
+from repro.trace.collector import TraceCollector
 
 
 @dataclass(frozen=True)
@@ -172,6 +173,12 @@ class EventKernel:
         and the scheduler's RNG are derived.
     size_model:
         Bit-accounting model; defaults to ``SizeModel(n)``.
+    trace:
+        Optional :class:`~repro.trace.collector.TraceCollector`.  ``None``
+        (the default) is the guaranteed-free disabled path: every probe site
+        in the kernel and the schedulers is a single ``is not None`` check
+        per *grouped* dispatch record, and nothing else changes — the golden
+        equivalence tests pin byte-identical results.
     """
 
     def __init__(
@@ -181,6 +188,7 @@ class EventKernel:
         adversary: Optional[AdversaryProtocol] = None,
         seed: int = 0,
         size_model: Optional[SizeModel] = None,
+        trace: Optional[TraceCollector] = None,
     ) -> None:
         self.n = n
         self.seed = seed
@@ -201,6 +209,10 @@ class EventKernel:
 
         self.size_model = size_model or SizeModel(n)
         self.metrics = MetricsCollector(self.size_model)
+        self.trace = trace
+        if trace is not None:
+            trace.bind_population(self.correct_ids, self.byzantine_ids)
+            trace.bind_clock(self.now)
         self._decided: Dict[int, bool] = {i: False for i in self.correct_ids}
         self._undecided_count = len(self.correct_ids)
 
@@ -298,6 +310,8 @@ class EventKernel:
             self._decided[node_id] = True
             self._undecided_count -= 1
             self.metrics.record_decision(node_id, self.now())
+            if self.trace is not None:
+                self.trace.on_decided(node_id, self.now())
 
     def all_decided(self) -> bool:
         """Whether every correct node has decided."""

@@ -28,7 +28,10 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.net.messages import Message, SizeModel
 
 #: safety bound on the memoised message-cost cache (entries are tiny; the cap
-#: only matters for pathological runs with millions of distinct messages)
+#: only matters for pathological runs with millions of distinct messages).
+#: When full, the oldest *insertion* is evicted (FIFO — hits do not refresh
+#: recency, keeping the hot lookup a single dict get): one pop per insert,
+#: never the old clear-everything reset that dropped the whole memo at once.
 _BITS_CACHE_LIMIT = 1 << 20
 
 
@@ -123,13 +126,14 @@ class MetricsCollector:
     into a constant number of dict updates.
     """
 
-    def __init__(self, size_model: SizeModel) -> None:
+    def __init__(self, size_model: SizeModel, bits_cache_limit: int = _BITS_CACHE_LIMIT) -> None:
         self.size_model = size_model
         self._sent_messages: Dict[int, int] = {}
         self._sent_bits: Dict[int, int] = {}
         self._received_messages: Dict[int, int] = {}
         self._received_bits: Dict[int, int] = {}
         self._bits_cache: Dict[Message, int] = {}
+        self._bits_cache_limit = max(1, bits_cache_limit)
         self._decision_times: Dict[int, float] = {}
         self._rounds: Optional[int] = None
         self._span: Optional[float] = None
@@ -154,14 +158,32 @@ class MetricsCollector:
         return self._message_log
 
     def bits_of(self, message: Message) -> int:
-        """Bit cost of ``message``, memoised (messages are immutable)."""
-        bits = self._bits_cache.get(message)
+        """Bit cost of ``message``, memoised (messages are immutable).
+
+        The memo is bounded: when full, the oldest *insertion* is evicted
+        (FIFO — dicts iterate in insertion order, so ``next(iter(...))`` is
+        the earliest-inserted entry; hits deliberately do not refresh
+        recency, which keeps this hot path a single dict get).  A run with
+        millions of distinct messages therefore holds at most
+        ``bits_cache_limit`` entries at any time and evicts one entry per
+        insert, instead of the old clear-everything reset.  A flood larger
+        than the cache can still cycle out a long-lived entry (it is
+        recomputed on next use); what is gone is the global reset that
+        dropped every entry at once.
+        """
+        cache = self._bits_cache
+        bits = cache.get(message)
         if bits is None:
             bits = message.bits(self.size_model)
-            if len(self._bits_cache) >= _BITS_CACHE_LIMIT:
-                self._bits_cache.clear()
-            self._bits_cache[message] = bits
+            if len(cache) >= self._bits_cache_limit:
+                del cache[next(iter(cache))]
+            cache[message] = bits
         return bits
+
+    @property
+    def bits_cache_size(self) -> int:
+        """Current number of memoised message costs (bounded by the limit)."""
+        return len(self._bits_cache)
 
     def record_send(self, sender: int, dest: int, message: Message, time: float) -> int:
         """Record ``sender`` putting ``message`` on the wire towards ``dest``.

@@ -61,8 +61,11 @@ class SynchronousSimulator(EventKernel):
         max_rounds: int = 64,
         min_rounds: int = 0,
         size_model: Optional[SizeModel] = None,
+        trace=None,
     ) -> None:
-        super().__init__(nodes, n, adversary=adversary, seed=seed, size_model=size_model)
+        super().__init__(
+            nodes, n, adversary=adversary, seed=seed, size_model=size_model, trace=trace
+        )
         self.rushing = rushing
         self.max_rounds = max_rounds
         self.min_rounds = min_rounds
@@ -80,6 +83,8 @@ class SynchronousSimulator(EventKernel):
     def dispatch_send(self, sender: int, dest: int, message: Message) -> None:
         bits = self.metrics.record_send(sender, dest, message, float(self._round))
         self._outbox.append((sender, (dest,), message, bits))
+        if self.trace is not None:
+            self.trace.on_dispatch(sender, 1, message.kind, bits)
 
     def dispatch_send_many(self, sender: int, dests: Sequence[int], message: Message) -> None:
         if not dests:
@@ -87,6 +92,8 @@ class SynchronousSimulator(EventKernel):
         dests = tuple(dests)
         bits = self.metrics.record_send_many(sender, dests, message, float(self._round))
         self._outbox.append((sender, dests, message, bits))
+        if self.trace is not None:
+            self.trace.on_dispatch(sender, len(dests), message.kind, bits)
 
     def run(self) -> SimulationResult:
         """Execute rounds until every correct node decides or ``max_rounds`` is hit."""

@@ -30,7 +30,7 @@ runner and the ``python -m repro {run,sweep,compare}`` CLI all work with it.
 from __future__ import annotations
 
 import statistics
-from dataclasses import asdict, dataclass, field, fields
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import TYPE_CHECKING, Dict, Mapping, Optional, Tuple
 
 from repro.net.results import SimulationResult
@@ -87,6 +87,10 @@ class RunResult:
     extras:
         Protocol-specific scalars (e.g. ``knowledge_after_ae`` for the
         compositions); JSON-safe.
+    trace:
+        Optional condensed :class:`~repro.trace.collector.TraceSummary` as a
+        plain JSON dict — present only when the spec asked for
+        ``trace="summary"`` / ``"full"``; round-trips through sweep files.
     raw:
         The protocol's native result object; excluded from equality and
         serialization.
@@ -107,6 +111,7 @@ class RunResult:
     median_node_bits: float
     load_imbalance: float
     extras: Dict[str, object] = field(default_factory=dict)
+    trace: Optional[Dict[str, object]] = None
     raw: object = field(default=None, compare=False, repr=False)
 
     # -- aliases kept for parity with SimulationResult consumers ------------
@@ -127,6 +132,10 @@ class RunResult:
         data = asdict(self)
         data.pop("raw", None)
         return data
+
+    def with_trace(self, trace: Optional[Dict[str, object]]) -> "RunResult":
+        """Copy of this result carrying the given condensed trace block."""
+        return replace(self, trace=trace)
 
     @staticmethod
     def from_dict(data: Mapping[str, object]) -> "RunResult":
@@ -232,12 +241,19 @@ class ProtocolAdapter:
         :meth:`validate`.
     ``modes``
         Scheduler modes the protocol supports (``"sync"`` and/or ``"async"``).
+    ``supports_trace``
+        Whether the adapter honours the spec-level ``trace`` knob (builds a
+        :class:`~repro.trace.collector.TraceCollector` and attaches the
+        resulting summary to ``RunResult.trace``).  Adapters that do not are
+        rejected by :meth:`validate` for ``trace != "off"`` rather than
+        silently returning untraced results.
     """
 
     name: str = ""
     description: str = ""
     params: Mapping[str, object] = {}
     modes: Tuple[str, ...] = ("sync",)
+    supports_trace: bool = False
 
     #: spec knob fields that route into the protocol parameter space; their
     #: spec-level defaults, used to detect "was this knob actually set?"
@@ -266,6 +282,11 @@ class ProtocolAdapter:
             raise ValueError(
                 f"protocol {self.name!r} does not support mode {spec.mode!r} "
                 f"(supported: {', '.join(self.modes)})"
+            )
+        if spec.trace != "off" and not self.supports_trace:
+            raise ValueError(
+                f"protocol {self.name!r} does not support tracing "
+                f"(got trace={spec.trace!r}; only trace='off' is accepted)"
             )
         for knob, default in self._KNOB_DEFAULTS.items():
             if knob in self.params:
@@ -296,6 +317,8 @@ class ProtocolAdapter:
             for knob, default in self._KNOB_DEFAULTS.items()
             if knob not in self.params and getattr(spec, knob) != default
         }
+        if spec.trace != "off" and not self.supports_trace:
+            changes["trace"] = "off"
         kept_params = {
             key: value for key, value in spec.params_dict().items() if key in self.params
         }

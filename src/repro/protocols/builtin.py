@@ -26,6 +26,7 @@ from repro.net.asynchronous import DelayPolicy, make_delay_policy
 from repro.net.results import SimulationResult
 from repro.protocols.base import ProtocolAdapter, RunResult, register_protocol
 from repro.protocols.scenarios import make_scenario_by_name
+from repro.trace.collector import collector_for_spec
 
 
 def _gstring_extras(result: SimulationResult, scenario: AERScenario) -> Dict[str, object]:
@@ -51,6 +52,7 @@ class AERProtocolAdapter(ProtocolAdapter):
     name = "aer"
     description = "AER almost-everywhere-to-everywhere agreement (the paper's Section 3)"
     modes = ("sync", "async")
+    supports_trace = True
     params = {
         "adversary": "none",
         "mode": "sync",
@@ -63,6 +65,7 @@ class AERProtocolAdapter(ProtocolAdapter):
         "delay_policy": None,
         "delay_params": {},
         "max_rounds": 64,
+        "answer_budget": None,
     }
 
     def validate(self, spec) -> None:
@@ -85,6 +88,10 @@ class AERProtocolAdapter(ProtocolAdapter):
         config = AERConfig.for_system(
             n, sampler_seed=seed, quorum_multiplier=p["quorum_multiplier"]
         )
+        if p["answer_budget"] is not None:
+            # The Algorithm 3 budget ablation knob; scenario and samplers are
+            # unaffected (neither depends on the budget).
+            config = config.with_(answer_budget=int(p["answer_budget"]))  # type: ignore[call-overload]
         scenario = make_scenario_by_name(
             str(p["scenario"]),
             n,
@@ -96,6 +103,9 @@ class AERProtocolAdapter(ProtocolAdapter):
         )
         samplers = config.build_samplers()
         adversary = make_adversary(str(p["adversary"]), scenario, config, samplers)
+        trace = collector_for_spec(spec)
+        if trace is not None:
+            trace.mark_string("gstring", scenario.gstring)
         result = run_aer(
             scenario,
             config=config,
@@ -106,8 +116,19 @@ class AERProtocolAdapter(ProtocolAdapter):
             max_rounds=int(p["max_rounds"]),  # type: ignore[call-overload]
             delay_policy=_resolve_delay_policy(p),
             samplers=samplers,
+            trace=trace,
         )
-        return RunResult.from_simulation(self.name, result, _gstring_extras(result, scenario))
+        extras = _gstring_extras(result, scenario)
+        if trace is not None:
+            # Adversary-side counters (e.g. the quorum-flood attack's forced
+            # strings, the Lemma 4 comparison column) ride along when traced.
+            forced = getattr(adversary, "total_forced", None)
+            if forced is not None:
+                extras["strings_forced"] = int(forced)
+            return RunResult.from_simulation(self.name, result, extras).with_trace(
+                trace.finalize()
+            )
+        return RunResult.from_simulation(self.name, result, extras)
 
 
 @register_protocol
@@ -117,6 +138,7 @@ class FullBAAdapter(ProtocolAdapter):
     name = "full_ba"
     description = "full Byzantine Agreement: committee-tree ae-stage composed with AER"
     modes = ("sync", "async")
+    supports_trace = True
     params = {
         "adversary": "none",
         "mode": "sync",
@@ -147,7 +169,10 @@ class FullBAAdapter(ProtocolAdapter):
             def aer_adversary_factory(scenario, aer_config, samplers):
                 return make_adversary(adversary_name, scenario, aer_config, samplers)
 
-        result = BAProtocol(config, aer_adversary_factory=aer_adversary_factory).run()
+        trace = collector_for_spec(spec)
+        result = BAProtocol(
+            config, aer_adversary_factory=aer_adversary_factory, trace=trace
+        ).run()
         extras = {
             "knowledge_after_ae": round(result.knowledge_fraction_after_ae, 4),
             "decided_gstring": round(
@@ -156,9 +181,12 @@ class FullBAAdapter(ProtocolAdapter):
             "ae_rounds": result.ae_result.rounds,
             "aer_rounds": result.aer_result.rounds,
         }
-        return RunResult.from_stages(
+        run_result = RunResult.from_stages(
             self.name, (result.ae_result, result.aer_result), raw=result, extras=extras
         )
+        if trace is not None:
+            run_result = run_result.with_trace(trace.finalize())
+        return run_result
 
 
 @register_protocol
@@ -171,6 +199,7 @@ class ComposedBAAdapter(ProtocolAdapter):
         "(strategy: sample_majority | naive)"
     )
     modes = ("sync",)
+    supports_trace = True
     params = {
         "t": None,
         "strategy": "sample_majority",
@@ -181,12 +210,14 @@ class ComposedBAAdapter(ProtocolAdapter):
         from repro.baselines.composed_ba import run_composed_ba
 
         p = self.resolve_params(spec)
+        trace = collector_for_spec(spec)
         result = run_composed_ba(
             spec.n,
             strategy=str(p["strategy"]),
             t=p["t"],  # type: ignore[arg-type]
             seed=spec.seed,
             max_rounds=int(p["max_rounds"]),  # type: ignore[call-overload]
+            trace=trace,
         )
         extras = {
             "strategy": str(p["strategy"]),
@@ -196,18 +227,22 @@ class ComposedBAAdapter(ProtocolAdapter):
             ),
             "ae_rounds": result.ae_result.rounds,
         }
-        return RunResult.from_stages(
+        run_result = RunResult.from_stages(
             self.name,
             (result.ae_result, result.everywhere_result),
             raw=result,
             extras=extras,
         )
+        if trace is not None:
+            run_result = run_result.with_trace(trace.finalize())
+        return run_result
 
 
 class _ScenarioBaselineAdapter(ProtocolAdapter):
     """Shared machinery of the standalone scenario-driven baselines."""
 
     modes = ("sync",)
+    supports_trace = True
     params = {
         "adversary": "none",
         "t": None,
@@ -272,14 +307,21 @@ class SampleMajorityAdapter(_ScenarioBaselineAdapter):
             string_length=len(scenario.gstring),
             sample_multiplier=float(p["sample_multiplier"]),  # type: ignore[arg-type]
         )
+        trace = collector_for_spec(spec)
         result = run_sample_majority(
             scenario,
             config=config,
             adversary=self._adversary(spec, p, scenario),
             seed=spec.seed,
             max_rounds=int(p["max_rounds"]),  # type: ignore[call-overload]
+            trace=trace,
         )
-        return RunResult.from_simulation(self.name, result, _gstring_extras(result, scenario))
+        run_result = RunResult.from_simulation(
+            self.name, result, _gstring_extras(result, scenario)
+        )
+        if trace is not None:
+            run_result = run_result.with_trace(trace.finalize())
+        return run_result
 
 
 @register_protocol
@@ -295,10 +337,114 @@ class NaiveBroadcastAdapter(_ScenarioBaselineAdapter):
 
         p = self.resolve_params(spec)
         scenario = self._scenario(spec, p)
+        trace = collector_for_spec(spec)
         result = run_naive_broadcast(
             scenario,
             adversary=self._adversary(spec, p, scenario),
             seed=spec.seed,
             max_rounds=int(p["max_rounds"]),  # type: ignore[call-overload]
+            trace=trace,
         )
-        return RunResult.from_simulation(self.name, result, _gstring_extras(result, scenario))
+        run_result = RunResult.from_simulation(
+            self.name, result, _gstring_extras(result, scenario)
+        )
+        if trace is not None:
+            run_result = run_result.with_trace(trace.finalize())
+        return run_result
+
+
+@register_protocol
+class SamplerBorderAdapter(ProtocolAdapter):
+    """Section 4.1 / Property 2 Monte-Carlo as a runnable 'protocol'.
+
+    Not a message-passing protocol: one run evaluates the expansion property
+    of the poll-list sampler ``J`` — the random digraph model's border
+    failure probability and the worst border ratio an adversary finds on the
+    *concrete* keyed-hash sampler (random families and the greedy
+    label-shopping attack).  Wrapping the analysis in an adapter puts it on
+    the same spec/sweep/record rails as every other experiment, which is
+    what lets the ``property2`` report section and its benchmark share one
+    row source.
+
+    The traffic columns of the normalized record are all zero;
+    ``agreement`` reports whether Property 2 held for untailored (random)
+    families, and the measured ratios live in ``extras``.
+    """
+
+    name = "sampler_border"
+    description = (
+        "Property 2 expansion analysis of the poll sampler J "
+        "(random digraph model + adversarial search on the concrete sampler)"
+    )
+    modes = ("sync",)
+    params = {
+        "quorum_multiplier": 2.0,
+        "family_size": None,       # None → max(2, n / log2 n), the Lemma 2 regime
+        "model_trials": 60,        # Monte-Carlo trials on the random digraph model
+        "random_trials": 20,       # uniformly random families on the concrete J
+        "greedy_trials": 3,        # greedy label-shopping attacks on the concrete J
+    }
+
+    def run(self, spec) -> RunResult:
+        import math
+        import random as random_module
+
+        from repro.samplers.poll_sampler import PollSampler
+        from repro.samplers.properties import worst_family_border_ratio
+        from repro.samplers.random_graph import estimate_border_probability
+
+        p = self.resolve_params(spec)
+        n, seed = spec.n, spec.seed
+        config = AERConfig.for_system(
+            n, sampler_seed=seed, quorum_multiplier=float(p["quorum_multiplier"])  # type: ignore[arg-type]
+        )
+        sampler = PollSampler(config.sampler_spec())
+        family_size = p["family_size"]
+        if family_size is None:
+            family_size = max(2, int(n / math.log2(n)))
+        family_size = int(family_size)  # type: ignore[arg-type]
+
+        model_failures = estimate_border_probability(
+            n=n, trials=int(p["model_trials"]), seed=seed  # type: ignore[call-overload]
+        )
+        # One shared rng, random families first: the exact draw sequence of
+        # the original bench_property2 benchmark, so its tables reproduce.
+        rng = random_module.Random(seed)
+        worst_random = worst_family_border_ratio(
+            sampler, family_size, trials=int(p["random_trials"]), rng=rng, greedy=False  # type: ignore[call-overload]
+        )
+        worst_greedy = worst_family_border_ratio(
+            sampler, family_size, trials=int(p["greedy_trials"]), rng=rng, greedy=True  # type: ignore[call-overload]
+        )
+
+        extras = {
+            "family_size": family_size,
+            "worst_ratio_random_families": round(worst_random, 4),
+            "worst_ratio_greedy_attack": round(worst_greedy, 4),
+            "property2_threshold": round(2 / 3, 4),
+            "model_trials": int(p["model_trials"]),  # type: ignore[call-overload]
+            "model_max_failure_probability": (
+                max(model_failures.values()) if model_failures else 0.0
+            ),
+            "model_failures": {
+                str(size): probability
+                for size, probability in sorted(model_failures.items())
+            },
+        }
+        return RunResult(
+            protocol=self.name,
+            n=n,
+            agreement=worst_random > 2 / 3,
+            decided_count=n,
+            correct_count=n,
+            rounds=None,
+            span=None,
+            max_decision_time=None,
+            total_messages=0,
+            total_bits=0,
+            amortized_bits=0.0,
+            max_node_bits=0,
+            median_node_bits=0.0,
+            load_imbalance=0.0,
+            extras=extras,
+        )

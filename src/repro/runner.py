@@ -49,6 +49,7 @@ def run_aer(
     max_rounds: int = 64,
     delay_policy: Optional[DelayPolicy] = None,
     samplers: Optional[SamplerSuite] = None,
+    trace=None,
 ) -> SimulationResult:
     """Run AER on a scenario and return the simulation result.
 
@@ -67,6 +68,10 @@ def run_aer(
     rushing:
         Synchronous mode only: whether the adversary sees the current round's
         correct-node messages before acting.
+    trace:
+        Optional :class:`~repro.trace.collector.TraceCollector`, threaded
+        into the nodes' phase engines and the scheduler; ``None`` (default)
+        is the zero-cost disabled path.
     """
     if config is None:
         config = AERConfig.for_system(scenario.n)
@@ -75,7 +80,7 @@ def run_aer(
     if adversary is None and adversary_name is not None:
         adversary = make_adversary(adversary_name, scenario, config, samplers)
 
-    nodes = build_aer_nodes(scenario, config, samplers=samplers)
+    nodes = build_aer_nodes(scenario, config, samplers=samplers, trace=trace)
     if mode == "sync":
         # In non-eager mode the pull phase only starts at a fixed round, so the
         # scheduler must not mistake the idle rounds before it for quiescence.
@@ -89,6 +94,7 @@ def run_aer(
             max_rounds=max_rounds,
             min_rounds=min_rounds,
             size_model=config.size_model(),
+            trace=trace,
         )
     elif mode == "async":
         simulator = AsynchronousSimulator(
@@ -98,6 +104,7 @@ def run_aer(
             seed=seed,
             delay_policy=delay_policy,
             size_model=config.size_model(),
+            trace=trace,
         )
     else:
         raise ValueError(f"unknown mode {mode!r} (expected 'sync' or 'async')")

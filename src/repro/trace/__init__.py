@@ -1,0 +1,36 @@
+"""Trace subsystem: typed probes in the kernel and engines, condensed per run.
+
+The sixth registry-backed subsystem of the architecture (see ARCHITECTURE.md):
+protocol engines and the event kernel emit *typed probe events*
+(``phase_started``, ``push_sent``, ``candidate_added``, ``poll_answered``,
+``budget_exhausted``, ...); a :class:`TraceCollector` attached to the
+:class:`~repro.net.kernel.EventKernel` aggregates them with the same batched,
+no-per-message-object discipline as the metrics collector, and condenses them
+into a JSON-friendly :class:`TraceSummary` that rides along on
+``RunResult.trace`` / ``ExperimentRecord.trace`` through sweep files and into
+the report sections for Lemmas 3-5 and the ablations.
+
+Tracing is opt-in per experiment spec (``trace="off" | "summary" | "full"``,
+default ``"off"``) and the disabled path is guaranteed free: no collector is
+constructed, every probe site is a ``None`` check, and the golden-seed
+equivalence tests pin byte-identical results.
+"""
+
+from repro.trace.collector import (
+    TRACE_MODES,
+    TraceCollector,
+    TraceSummary,
+    collector_for_spec,
+)
+from repro.trace.probes import PROBE_POINTS, ProbePoint, get_probe, register_probe
+
+__all__ = [
+    "TRACE_MODES",
+    "TraceCollector",
+    "TraceSummary",
+    "collector_for_spec",
+    "PROBE_POINTS",
+    "ProbePoint",
+    "get_probe",
+    "register_probe",
+]

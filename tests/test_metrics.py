@@ -141,3 +141,44 @@ class TestSummary:
         summary = collector.summary()
         assert summary.total_messages == len(sends)
         assert summary.total_bits == len(sends) * Message().bits(collector.size_model)
+
+
+class TestBitsCacheEviction:
+    """The memoised message-cost cache must stay bounded under floods."""
+
+    def test_cache_never_exceeds_limit_under_distinct_message_flood(self):
+        collector = MetricsCollector(SizeModel(n=8), bits_cache_limit=64)
+        # A "millions of distinct messages" flood, scaled down: far more
+        # distinct messages than the cache limit, in one streaming pass.
+        for i in range(5_000):
+            collector.record_send(0, 1, PushMessage(candidate=format(i, "013b")), time=0.0)
+            assert collector.bits_cache_size <= 64
+        assert collector.bits_cache_size == 64
+
+    def test_eviction_drops_oldest_insertion_first(self):
+        collector = MetricsCollector(SizeModel(n=8), bits_cache_limit=2)
+        first = PushMessage(candidate="000")
+        second = PushMessage(candidate="001")
+        third = PushMessage(candidate="010")
+        collector.bits_of(first)
+        collector.bits_of(second)
+        collector.bits_of(third)  # cache full: evicts `first`
+        assert collector.bits_cache_size == 2
+        assert first not in collector._bits_cache
+        assert second in collector._bits_cache
+        assert third in collector._bits_cache
+
+    def test_values_stay_correct_across_evictions(self):
+        collector = MetricsCollector(SizeModel(n=8), bits_cache_limit=4)
+        messages = [PushMessage(candidate=format(i, "09b")) for i in range(32)]
+        expected = {m: m.bits(collector.size_model) for m in messages}
+        # Two interleaved passes so evicted entries are recomputed.
+        for _ in range(2):
+            for message in messages:
+                assert collector.bits_of(message) == expected[message]
+        assert collector.bits_cache_size <= 4
+
+    def test_default_limit_unchanged(self):
+        from repro.net.metrics import _BITS_CACHE_LIMIT
+
+        assert MetricsCollector(SizeModel(n=8))._bits_cache_limit == _BITS_CACHE_LIMIT
