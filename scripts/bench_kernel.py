@@ -6,7 +6,9 @@ Usage (from the repo root)::
 
 Equivalent to ``python -m repro bench``.  The fixed sweep and the recorded
 seed-engine baseline live in :mod:`repro.experiments.bench`; keep both
-stable so the numbers stay comparable across PRs.
+stable so the numbers stay comparable across PRs.  To refresh the
+*committed* artifact (min-of-5, extended cases, provenance, trajectory
+preservation) use ``python -m repro bench --update`` instead.
 """
 
 from __future__ import annotations

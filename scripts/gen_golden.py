@@ -28,10 +28,13 @@ GOLDEN_MATRIX = [
     ("sync", False, "equivocate", 24, 3),
     ("sync", False, "wrong_answer", 40, 5),
     ("sync", True, "equivocate", 24, 3),
+    ("sync", True, "cornering_nodelay", 24, 3),
     ("async", False, "none", 24, 3),
+    ("async", False, "none", 40, 5),
     ("async", False, "silent", 40, 5),
     ("async", False, "equivocate", 24, 3),
     ("async", False, "slow_knowledgeable", 24, 3),
+    ("async", False, "cornering_nodelay", 24, 3),
 ]
 
 

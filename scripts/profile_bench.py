@@ -1,0 +1,95 @@
+"""Advisory perf job: time the fixed BENCH sweep and profile the slowest case.
+
+Runs every case of :data:`repro.experiments.bench.FIXED_SWEEP` once, prints a
+timing table (with the committed ``BENCH_kernel.json`` seconds next to it for
+orientation), then re-runs the *slowest* case under ``cProfile`` and writes
+two artifacts into ``--out-dir`` (default ``perf-artifacts/``):
+
+* ``slowest.prof`` — the raw profile, loadable with ``snakeviz`` /
+  ``pstats``;
+* ``slowest.txt`` — the top functions by cumulative and internal time, for
+  reading directly in the CI log viewer.
+
+The job is advisory by design: shared CI runners have no stable clock, so
+the binding wall-clock comparison stays with
+``scripts/check_trace_overhead.py`` on the reference machine.  What this
+script adds on every push is the *shape* of the profile — a regression that
+moves a new function into the top-10 is visible even when absolute seconds
+are not trustworthy.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python scripts/profile_bench.py [--out-dir perf-artifacts]
+        [--baseline BENCH_kernel.json] [--top 25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import json
+import os
+import pstats
+import sys
+import time
+
+from repro.experiments.bench import FIXED_SWEEP
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out-dir", default="perf-artifacts")
+    parser.add_argument("--baseline", default="BENCH_kernel.json")
+    parser.add_argument("--top", type=int, default=25, help="rows per pstats table")
+    args = parser.parse_args(argv)
+
+    committed = {}
+    try:
+        with open(args.baseline, encoding="utf-8") as fh:
+            committed = {
+                case["key"]: case["seconds"] for case in json.load(fh)["cases"]
+            }
+    except (OSError, ValueError, KeyError):
+        pass
+
+    timings = []
+    for spec in FIXED_SWEEP:
+        start = time.perf_counter()
+        spec.run()
+        seconds = time.perf_counter() - start
+        timings.append((seconds, spec))
+        reference = committed.get(spec.key)
+        suffix = f" (committed {reference}s)" if reference is not None else ""
+        print(f"{spec.key}: {seconds:.3f}s{suffix}")
+
+    slowest_seconds, slowest = max(timings, key=lambda pair: pair[0])
+    print(f"\nprofiling slowest case: {slowest.key} ({slowest_seconds:.3f}s)")
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    slowest.run()
+    profiler.disable()
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    prof_path = os.path.join(args.out_dir, "slowest.prof")
+    text_path = os.path.join(args.out_dir, "slowest.txt")
+    profiler.dump_stats(prof_path)
+
+    buffer = io.StringIO()
+    buffer.write(f"fixed-sweep slowest case: {slowest.key}\n")
+    buffer.write(f"single-run wall-clock: {slowest_seconds:.3f}s\n\n")
+    stats = pstats.Stats(profiler, stream=buffer)
+    buffer.write("== by cumulative time ==\n")
+    stats.sort_stats("cumulative").print_stats(args.top)
+    buffer.write("\n== by internal time ==\n")
+    stats.sort_stats("tottime").print_stats(args.top)
+    with open(text_path, "w", encoding="utf-8") as fh:
+        fh.write(buffer.getvalue())
+
+    print(f"profile written to {prof_path} and {text_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,7 @@ from typing import Tuple
 from repro.net.messages import Message, SizeModel
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ContributionMessage(Message):
     """Round 0 of the root-committee coin protocol: a member's private random bits."""
 
@@ -19,7 +19,7 @@ class ContributionMessage(Message):
         return size_model.kind_bits + len(self.bits_value)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EchoMessage(Message):
     """Round 2 of the coin protocol: the vector of contributions a member received.
 
@@ -35,7 +35,7 @@ class EchoMessage(Message):
         return size_model.kind_bits + payload
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RelayMessage(Message):
     """Dissemination: a committee member relays the agreed string to a child committee."""
 

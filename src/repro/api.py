@@ -43,6 +43,7 @@ from repro.experiments.sweep import (
     ExperimentRecord,
     SweepResult,
     SweepRunner,
+    WorkerPool,
     execute_spec,
     run_sweep,
 )
@@ -98,7 +99,7 @@ __all__ = [
     "ProbePoint", "TraceCollector", "TraceSummary", "collector_for_spec",
     # orchestration
     "ExperimentSpec", "ExperimentPlan", "ExperimentRecord",
-    "SweepRunner", "SweepResult", "run_sweep", "execute_spec",
+    "SweepRunner", "SweepResult", "WorkerPool", "run_sweep", "execute_spec",
     # conveniences
     "spec_for", "run_experiment", "compare",
     "format_table", "compare_rows", "run_result_row",

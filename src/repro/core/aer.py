@@ -85,6 +85,7 @@ class AERNode(Node):
         # Exact-type dispatch table for the hot message loop; unknown types
         # fall back to the isinstance chain (and are ultimately ignored).
         pull = self.pull_engine
+        self._on_fw1 = pull.on_fw1
         self._handlers = {
             PushMessage: self._on_push,
             PullMessage: pull.on_pull,
@@ -147,6 +148,11 @@ class AERNode(Node):
 
     def on_message(self, sender: int, message: Message) -> None:
         """Dispatch to the phase engines by (exact) message type."""
+        if type(message) is Fw1Message:
+            # ~90% of a run's traffic is the Fw1 forwarding hop (d² messages
+            # per poll edge); branch straight to it before the dict dispatch.
+            self._on_fw1(sender, message)
+            return
         handler = self._handlers.get(type(message))
         if handler is not None:
             handler(sender, message)

@@ -214,7 +214,7 @@ class BAProtocol:
         )
 
         # ---- stage 2: AER ---------------------------------------------------
-        samplers = aer_config.build_samplers()
+        samplers = aer_config.shared_samplers()
         if self.trace is not None:
             self.trace.stage_boundary()
             self.trace.mark_string("gstring", scenario.gstring)

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from repro.net.messages import Message, SizeModel
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PushMessage(Message):
     """Push phase: the sender vouches that its candidate string is ``candidate``."""
 
@@ -35,7 +35,7 @@ class PushMessage(Message):
         return size_model.kind_bits + len(self.candidate)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PollMessage(Message):
     """Pull phase, Algorithm 1: poller ``x`` asks a poll-list member about ``candidate``."""
 
@@ -47,7 +47,7 @@ class PollMessage(Message):
         return size_model.kind_bits + len(self.candidate) + size_model.label_bits
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PullMessage(Message):
     """Pull phase, Algorithm 1: poller ``x`` asks its pull quorum ``H(s, x)`` to forward."""
 
@@ -59,7 +59,7 @@ class PullMessage(Message):
         return size_model.kind_bits + len(self.candidate) + size_model.label_bits
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Fw1Message(Message):
     """Algorithm 2, first hop: a member of ``H(s, x)`` forwards towards ``H(s, w)``.
 
@@ -83,7 +83,7 @@ class Fw1Message(Message):
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Fw2Message(Message):
     """Algorithm 2/3, second hop: a member of ``H(s, w)`` forwards the request to ``w``."""
 
@@ -101,7 +101,7 @@ class Fw2Message(Message):
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AnswerMessage(Message):
     """Algorithm 3: a poll-list member confirms ``candidate`` back to the poller."""
 

@@ -42,6 +42,10 @@ from repro.core.messages import (
 from repro.samplers.hash_sampler import QuorumSampler
 from repro.samplers.poll_sampler import PollSampler
 
+#: safety bound on the shared per-message Fw1 edge memo; overflow clears the
+#: memo (a pure cache of sampler facts — only recomputation is lost)
+_EDGE_MEMO_LIMIT = 1 << 17
+
 
 class PullOwner(Protocol):
     """What the pull engine needs from the node that owns it."""
@@ -88,14 +92,21 @@ class PullEngine:
         self.answer_budget = answer_budget
         #: optional TraceCollector for the poll/answer/budget probes
         self.trace = trace
-        # Shared across every engine bound to this sampler suite: the sender
-        # and poll-list membership checks of an Fw1 message are pure functions
-        # of the message and its sender, so the d recipients of one multicast
-        # memoise the verdict once instead of recomputing it d times.  Keyed
-        # by object identity (with a strong reference, so ids cannot be
-        # recycled) plus the authenticated sender.
-        self._fw1_shared_check = pull_sampler.shared_scratch.setdefault(
-            "fw1_precheck", [None, -1, False]
+        #: the owning node's identity, cached off the property chain — read
+        #: once per delivered message on the hot paths
+        self._node_id = owner.node_id
+        # Shared across every engine bound to this sampler suite: whether an
+        # Fw1 message's (origin, label, target) triple names a real poll-list
+        # edge is a pure function of the message alone, so the d² recipients
+        # of the d copies of one Fw1 share the verdict through this memo.  It
+        # is keyed by object identity (entries hold a strong reference to
+        # their message, so an id can never be recycled while its entry
+        # lives) — a plain int lookup per delivery, robust to the arbitrary
+        # delivery interleavings of the asynchronous scheduler, and exact
+        # regardless of payload interning (a non-interned duplicate simply
+        # misses and recomputes the same pure fact).
+        self._fw1_edge_memo: Dict[int, tuple] = pull_sampler.shared_scratch.setdefault(
+            "fw1_edge_memo", {}
         )
 
         # ---- poller state (Algorithm 1) ------------------------------------
@@ -109,12 +120,11 @@ class PullEngine:
         self._served_pulls: Set[Tuple[int, str, int]] = set()
         #: pull requests whose candidate we do not (yet) believe
         self._pending_pulls: List[Tuple[int, str, int]] = []
-        #: votes per (origin, candidate, poll member): members of H(s, origin) that sent Fw1
-        self._fw1_votes: Dict[Tuple[int, str, int], Set[int]] = {}
-        #: labels attached to fw1 traffic, needed to re-examine after deciding
-        self._fw1_labels: Dict[Tuple[int, str, int], int] = {}
-        #: (origin, candidate, poll member) triples already forwarded with Fw2
-        self._fw2_sent: Set[Tuple[int, str, int]] = set()
+        #: consolidated first-hop state per (origin, candidate, poll member):
+        #: ``[votes, latest label, fw2 sent, sender quorum set, threshold]``
+        #: — one dict lookup per Fw1 where three (votes/labels/sent) plus
+        #: two sampler-table queries used to be
+        self._fw1_state: Dict[Tuple[int, str, int], list] = {}
 
         # ---- poll-list state (Algorithm 3) ----------------------------------
         #: votes per (origin, candidate): members of H(s, self) that sent Fw2
@@ -155,7 +165,7 @@ class PullEngine:
         label = self.labels.get(candidate)
         if label is None or self.owner.has_decided:
             return
-        poll_entry = self.poll_sampler.entry(self.owner.node_id, label)
+        poll_entry = self.poll_sampler.entry(self._node_id, label)
         if sender not in poll_entry.member_set:
             return
         answers = self._answers.setdefault(candidate, set())
@@ -174,7 +184,7 @@ class PullEngine:
         key = (sender, candidate, label)
         if key in self._served_pulls:
             return  # each pull request is served at most once (anti-flooding)
-        if not self.pull_sampler.contains(candidate, sender, self.owner.node_id):
+        if not self.pull_sampler.contains(candidate, sender, self._node_id):
             return
         if candidate != self.owner.believed:
             # Remember the request; if we later come to believe this candidate
@@ -196,54 +206,90 @@ class PullEngine:
     def on_fw1(self, sender: int, message: Fw1Message) -> None:
         """First forwarding hop reached us (as a member of ``H(s, w)``)."""
         origin, candidate = message.origin, message.candidate
-        label, target = message.label, message.target
-        pull_table = self.pull_sampler.table(candidate)
-        if not pull_table.contains(target, self.owner.node_id):
-            return
-        # Sender/poll-list legitimacy is receiver-independent; consult the
-        # multicast-wide memo before recomputing (see __init__).
-        shared = self._fw1_shared_check
-        if shared[0] is message and shared[1] == sender:
-            if not shared[2]:
-                return
-        else:
-            legitimate = pull_table.contains(origin, sender) and self.poll_sampler.contains(
-                origin, label, target
-            )
-            shared[0] = message
-            shared[1] = sender
-            shared[2] = legitimate
-            if not legitimate:
-                return
-
+        target = message.target
         key = (origin, candidate, target)
-        votes = self._fw1_votes.get(key)
-        if votes is None:
-            votes = set()
-            self._fw1_votes[key] = votes
-        votes.add(sender)
-        self._fw1_labels[key] = label
+        state = self._fw1_state.get(key)
+        if state is not None:
+            if state[2]:
+                # The Fw2 for this key is already on the wire: further
+                # first-hop evidence is moot (the vote set is only ever read
+                # by threshold checks, which the sent flag guards), so the
+                # remaining pure per-delivery checks are skipped outright.
+                return
+            # An existing state proves our own membership in H(candidate,
+            # target) and carries the sender quorum and threshold, so the
+            # steady-state cost per delivery is one set lookup plus one
+            # label comparison.
+            if sender not in state[3]:
+                return
+            label = message.label
+            if label != state[1]:
+                # state[1] only ever holds a *verified* label, so a message
+                # carrying it has, by purity of the edge check, a legitimate
+                # (origin, label, target) poll edge.  A different label must
+                # prove its own edge before the vote counts — exactly the
+                # per-message filter the pre-columnar engine applied.
+                memo = self._fw1_edge_memo
+                cached = memo.get(id(message))
+                if cached is None or cached[0] is not message:
+                    cached = self._fill_edge_memo(
+                        message, self.pull_sampler.table(candidate)
+                    )
+                if cached[1] is None:
+                    return
+                state[1] = label
+            votes = state[0]
+            votes.add(sender)
+        else:
+            pull_table = self.pull_sampler.table(candidate)
+            if not pull_table.contains(target, self._node_id):
+                return
+            memo = self._fw1_edge_memo
+            cached = memo.get(id(message))
+            if cached is None or cached[0] is not message:
+                cached = self._fill_edge_memo(message, pull_table)
+            quorum_set = cached[1]
+            if quorum_set is None or sender not in quorum_set:
+                return
+            state = self._fw1_state[key] = [
+                {sender}, message.label, False, quorum_set, cached[2]
+            ]
+            votes = state[0]
         if candidate != self.owner.believed:
             return  # evidence recorded; acted upon if we ever believe the candidate
-        self._maybe_forward_fw2(origin, candidate, target, pull_table, votes)
-
-    def _maybe_forward_fw2(
-        self, origin: int, candidate: str, target: int, pull_table=None, votes=None
-    ) -> None:
-        key = (origin, candidate, target)
-        if key in self._fw2_sent:
-            return
-        if votes is None:
-            votes = self._fw1_votes.get(key)
-            if votes is None:
-                return  # no Fw1 evidence recorded for this key yet
-        if pull_table is None:
-            pull_table = self.pull_sampler.table(candidate)
-        if len(votes) >= pull_table.threshold(origin):
-            label = self._fw1_labels[key]
-            self._fw2_sent.add(key)
+        if len(votes) >= state[4]:
+            state[2] = True
             self.owner.send(
-                target, Fw2Message(origin=origin, candidate=candidate, label=label)
+                target, Fw2Message(origin=origin, candidate=candidate, label=state[1])
+            )
+
+    def _fill_edge_memo(self, message: Fw1Message, pull_table) -> tuple:
+        """Compute and memoise the pure per-message Fw1 facts (memo miss path).
+
+        The entry — whether ``(origin, label, target)`` names a real
+        poll-list edge, plus the member set and majority threshold of
+        ``H(candidate, origin)`` — is a pure function of the message, shared
+        by the d² recipients of the d copies of one Fw1 (see ``__init__``).
+        """
+        origin = message.origin
+        if self.poll_sampler.contains(origin, message.label, message.target):
+            cached = (message, pull_table.members(origin), pull_table.threshold(origin))
+        else:
+            cached = (message, None, 0)
+        memo = self._fw1_edge_memo
+        if len(memo) >= _EDGE_MEMO_LIMIT:
+            memo.clear()
+        memo[id(message)] = cached
+        return cached
+
+    def _maybe_forward_fw2(self, origin: int, candidate: str, target: int) -> None:
+        state = self._fw1_state.get((origin, candidate, target))
+        if state is None or state[2]:
+            return  # no Fw1 evidence recorded for this key yet, or already sent
+        if len(state[0]) >= state[4]:
+            state[2] = True
+            self.owner.send(
+                target, Fw2Message(origin=origin, candidate=candidate, label=state[1])
             )
 
     # ------------------------------------------------------------------
@@ -252,9 +298,10 @@ class PullEngine:
     def on_fw2(self, sender: int, message: Fw2Message) -> None:
         """Second forwarding hop reached us (as a member of ``J(origin, label)``)."""
         origin, candidate, label = message.origin, message.candidate, message.label
-        if not self.poll_sampler.contains(origin, label, self.owner.node_id):
+        node_id = self._node_id
+        if not self.poll_sampler.contains(origin, label, node_id):
             return
-        if not self.pull_sampler.contains(candidate, self.owner.node_id, sender):
+        if not self.pull_sampler.table(candidate).contains(node_id, sender):
             return
 
         key = (origin, candidate)
@@ -268,7 +315,7 @@ class PullEngine:
     def on_poll(self, sender: int, message: PollMessage) -> None:
         """The poller itself asked us directly (the ``Poll`` branch of Algorithm 3)."""
         candidate, label = message.candidate, message.label
-        if not self.poll_sampler.contains(sender, label, self.owner.node_id):
+        if not self.poll_sampler.contains(sender, label, self._node_id):
             return
         key = (sender, candidate)
         self._polled[key] = label
@@ -281,7 +328,7 @@ class PullEngine:
         if key in self._answered or key not in self._polled:
             return
         votes = self._fw2_votes.get(key, set())
-        threshold = self.pull_sampler.table(candidate).threshold(self.owner.node_id)
+        threshold = self.pull_sampler.table(candidate).threshold(self._node_id)
         if len(votes) < threshold:
             return
         if not self.owner.has_decided and self.answers_sent >= self.answer_budget:
@@ -314,7 +361,7 @@ class PullEngine:
                 self._serve_pull(origin, candidate, label)
 
         # Re-examine first-hop forwarding evidence.
-        for origin, candidate, target in list(self._fw1_votes):
+        for origin, candidate, target in list(self._fw1_state):
             if candidate == value:
                 self._maybe_forward_fw2(origin, candidate, target)
 

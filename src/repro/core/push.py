@@ -63,8 +63,10 @@ class PushEngine:
             trace.candidate_holder(node_id, initial_candidate)
         #: the candidate list ``L_x``
         self.candidates: Set[str] = {initial_candidate}
-        #: per-string set of quorum members that pushed it
-        self._votes: Dict[str, Set[int]] = {}
+        #: per-string vote state ``[quorum members that pushed it, majority
+        #: threshold]`` — the threshold is a pure function of the string and
+        #: this node, memoised with the votes instead of re-queried per push
+        self._votes: Dict[str, list] = {}
         #: pushes ignored because the sender was not in the relevant quorum
         self.ignored_pushes: int = 0
 
@@ -100,18 +102,18 @@ class PushEngine:
                 self.trace.push_ignored(self.node_id)
             return None
 
-        votes = self._votes.get(candidate)
-        if votes is None:
+        state = self._votes.get(candidate)
+        if state is None:
             if len(self._votes) >= self.max_tracked_strings:
                 self.ignored_pushes += 1
                 if self.trace is not None:
                     self.trace.push_ignored(self.node_id)
                 return None
-            votes = set()
-            self._votes[candidate] = votes
-        votes.add(sender)
+            state = self._votes[candidate] = [{sender}, table.threshold(self.node_id)]
+        else:
+            state[0].add(sender)
 
-        if len(votes) >= table.threshold(self.node_id):
+        if len(state[0]) >= state[1]:
             self.candidates.add(candidate)
             del self._votes[candidate]
             if self.trace is not None:

@@ -182,7 +182,12 @@ def build_aer_nodes(
     optional :class:`~repro.trace.collector.TraceCollector`.
     """
     if samplers is None:
-        samplers = config.build_samplers()
+        samplers = config.shared_samplers()
+    # Per-run scratch (e.g. the pull engines' shared Fw1 memo) starts fresh:
+    # cached suites keep their *tables* warm across runs, but per-message
+    # memos reference run-local message objects and would otherwise
+    # accumulate garbage in the process-local suite cache.
+    samplers.pull.shared_scratch["fw1_edge_memo"] = {}
     return [
         AERNode(
             node_id=node_id,

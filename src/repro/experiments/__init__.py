@@ -20,6 +20,7 @@ from repro.experiments.sweep import (
     ExperimentRecord,
     SweepResult,
     SweepRunner,
+    WorkerPool,
     execute_spec,
     run_sweep,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "ExperimentRecord",
     "SweepResult",
     "SweepRunner",
+    "WorkerPool",
     "execute_spec",
     "run_sweep",
 ]

@@ -2,20 +2,32 @@
 
 ``BENCH_kernel.json`` is the repo's performance trajectory for the simulation
 engine: a *fixed* sweep (same specs, same seeds, forever) timed on the
-current tree and compared against the recorded baseline of the pre-kernel
-seed engine.  Future PRs re-run ``python -m repro bench`` (or
-``scripts/bench_kernel.py``) and compare against both numbers.
+current tree and compared against the recorded baselines — the pre-kernel
+seed engine and every previously committed generation of the file.  Updating
+is one command::
 
-Keep :data:`FIXED_SWEEP` stable — the trajectory is only meaningful while
-the workload stays identical.
+    python -m repro bench --update
+
+which re-times the fixed sweep plus the extended cases (min-of-5 each),
+stamps platform and git provenance, preserves the previous generation's
+numbers under ``trajectory`` and rewrites the file.  ``python -m repro
+bench`` without ``--update`` times the fixed sweep only (min-of-3) — a quick
+local check that does not aspire to be committed.
+
+Keep :data:`FIXED_SWEEP` stable — the cross-PR trajectory is only meaningful
+while the workload stays identical.  :data:`EXTENDED_SWEEP` carries the
+larger cases (``n=1024`` sync, ``n=512`` async) that became tractable once
+the columnar fast path landed; they have no seed-engine baseline and simply
+accumulate their own history.
 """
 
 from __future__ import annotations
 
 import json
 import platform
+import subprocess
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.plan import ExperimentSpec
 
@@ -26,9 +38,18 @@ FIXED_SWEEP = (
     ExperimentSpec(n=256, adversary="none", mode="async", seed=0),
 )
 
-#: default number of timed repetitions per case; the *minimum* wall-clock is
-#: reported, which is the standard low-noise estimator on shared machines
+#: larger cases recorded since the columnar fast path; no seed baseline
+EXTENDED_SWEEP = (
+    ExperimentSpec(n=1024, adversary="none", mode="sync", seed=0),
+    ExperimentSpec(n=512, adversary="none", mode="async", seed=0),
+)
+
+#: timed repetitions for the quick local check (``python -m repro bench``)
 DEFAULT_REPEATS = 3
+
+#: timed repetitions for the committed update (``--update``); the *minimum*
+#: wall-clock is reported, the standard low-noise estimator on shared machines
+UPDATE_REPEATS = 5
 
 #: wall-clock seconds of the *seed* engine (commit 7eb7f85, pre event-kernel)
 #: on the fixed sweep — minimum of 3 runs per case, measured in a clean
@@ -40,15 +61,30 @@ SEED_BASELINE_SECONDS: Dict[str, float] = {
 }
 
 
-def run_fixed_sweep(repeats: int = DEFAULT_REPEATS) -> List[Dict[str, object]]:
-    """Time every case of the fixed sweep on the current tree (serially).
+def _git_commit() -> str:
+    """Short HEAD commit, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=False,
+        )
+    except (OSError, subprocess.SubprocessError):  # pragma: no cover - git missing/hung
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+def run_fixed_sweep(
+    repeats: int = DEFAULT_REPEATS,
+    specs: Sequence[ExperimentSpec] = FIXED_SWEEP,
+) -> List[Dict[str, object]]:
+    """Time every case of the sweep on the current tree (serially).
 
     Each case is run ``repeats`` times; ``seconds`` is the minimum (the
-    repeats are listed under ``seconds_all``), matching how the seed
-    baseline was recorded.
+    repeats are listed under ``seconds_all``), matching how the recorded
+    baselines were measured.
     """
     cases = []
-    for spec in FIXED_SWEEP:
+    for spec in specs:
         times = []
         result = None
         for _ in range(max(1, repeats)):
@@ -72,15 +108,56 @@ def run_fixed_sweep(repeats: int = DEFAULT_REPEATS) -> List[Dict[str, object]]:
     return cases
 
 
-def build_report(cases: Optional[List[Dict[str, object]]] = None) -> Dict[str, object]:
+def _previous_trajectory(previous: Optional[Dict[str, object]]) -> Dict[str, object]:
+    """Fold the prior generation of the file into the trajectory mapping.
+
+    The previous generation's own ``trajectory`` is carried over verbatim
+    and its ``cases`` are appended under a label derived from its recorded
+    git commit (``"pr1"`` for the original file, which predates the ``git``
+    provenance key) — so every committed generation of the numbers stays
+    addressable forever.
+    """
+    if not previous:
+        return {}
+    trajectory: Dict[str, object] = dict(previous.get("trajectory") or {})
+    old_cases = previous.get("cases") or []
+    if old_cases:
+        git_info = previous.get("git") or {}
+        label = str(git_info.get("commit") or "pr1")
+        trajectory[label] = {
+            "seconds": {
+                str(case["key"]): case["seconds"] for case in old_cases
+            },
+            "cases": old_cases,
+        }
+    return trajectory
+
+
+def build_report(
+    cases: Optional[List[Dict[str, object]]] = None,
+    previous: Optional[Dict[str, object]] = None,
+    repeats: int = DEFAULT_REPEATS,
+) -> Dict[str, object]:
     """Assemble the BENCH_kernel.json payload (running the sweep if needed)."""
     if cases is None:
-        cases = run_fixed_sweep()
+        cases = run_fixed_sweep(repeats=repeats)
     speedups = {}
     for case in cases:
         baseline = SEED_BASELINE_SECONDS.get(str(case["key"]))
         if baseline is not None and case["seconds"]:
             speedups[case["key"]] = round(baseline / float(case["seconds"]), 2)
+
+    trajectory = _previous_trajectory(previous)
+    speedup_vs_previous = {}
+    if previous:
+        previous_seconds = {
+            str(case["key"]): float(case["seconds"])
+            for case in (previous.get("cases") or [])
+        }
+        for case in cases:
+            before = previous_seconds.get(str(case["key"]))
+            if before and case["seconds"]:
+                speedup_vs_previous[case["key"]] = round(before / float(case["seconds"]), 2)
 
     # Aggregate only the cases that have a recorded baseline, so custom case
     # lists (e.g. with new sizes) degrade gracefully instead of raising.
@@ -91,18 +168,24 @@ def build_report(cases: Optional[List[Dict[str, object]]] = None) -> Dict[str, o
     ]
     large_baseline = sum(SEED_BASELINE_SECONDS[str(k)] for k in large_keys)
     large_current = sum(float(c["seconds"]) for c in cases if c["key"] in large_keys)
+    fixed_keys = set(SEED_BASELINE_SECONDS)
     total_baseline = sum(SEED_BASELINE_SECONDS.values())
-    total_current = sum(float(c["seconds"]) for c in cases)
-    return {
+    total_current = sum(
+        float(c["seconds"]) for c in cases if str(c["key"]) in fixed_keys
+    )
+    report: Dict[str, object] = {
         "description": (
             "Fixed engine benchmark sweep; baseline is the pre-kernel seed "
             "engine (commit 7eb7f85) timed on the same machine and specs. "
-            "All numbers are the minimum of 3 runs per case."
+            f"All numbers are the minimum of {max(1, repeats)} runs per case; "
+            "trajectory preserves every previously committed generation."
         ),
         "platform": {
             "python": platform.python_version(),
             "machine": platform.machine(),
         },
+        "git": {"commit": _git_commit()},
+        "repeats": max(1, repeats),
         "baseline_seconds": SEED_BASELINE_SECONDS,
         "cases": cases,
         "speedup_per_case": speedups,
@@ -113,11 +196,51 @@ def build_report(cases: Optional[List[Dict[str, object]]] = None) -> Dict[str, o
             round(total_baseline / total_current, 2) if total_current else None
         ),
     }
+    if trajectory:
+        report["trajectory"] = trajectory
+    if speedup_vs_previous:
+        report["speedup_vs_previous"] = speedup_vs_previous
+        fixed_current = [
+            float(c["seconds"]) for c in cases if str(c["key"]) in fixed_keys
+        ]
+        previous_fixed = [
+            float(case["seconds"])
+            for case in (previous.get("cases") or [])
+            if str(case["key"]) in fixed_keys
+        ]
+        if fixed_current and len(previous_fixed) == len(fixed_current):
+            report["speedup_vs_previous_total"] = round(
+                sum(previous_fixed) / sum(fixed_current), 2
+            )
+    return report
 
 
-def write_report(path: str = "BENCH_kernel.json") -> Dict[str, object]:
-    """Run the fixed sweep and write the report JSON to ``path``."""
-    report = build_report()
+def write_report(
+    path: str = "BENCH_kernel.json",
+    update: bool = False,
+    repeats: Optional[int] = None,
+) -> Dict[str, object]:
+    """Run the benchmark sweep and write the report JSON to ``path``.
+
+    ``update=False`` (plain ``python -m repro bench``) times the fixed sweep
+    min-of-``DEFAULT_REPEATS`` and writes a fresh report — the quick local
+    check.  ``update=True`` (``--update``) is the committed-artifact path:
+    min-of-``UPDATE_REPEATS`` over the fixed *and* extended sweeps, with the
+    previous generation of the file preserved under ``trajectory`` and
+    per-case speedups against it.
+    """
+    previous: Optional[Dict[str, object]] = None
+    if update:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                previous = json.load(fh)
+        except (OSError, ValueError):
+            previous = None
+    if repeats is None:
+        repeats = UPDATE_REPEATS if update else DEFAULT_REPEATS
+    specs = tuple(FIXED_SWEEP) + (tuple(EXTENDED_SWEEP) if update else ())
+    cases = run_fixed_sweep(repeats=repeats, specs=specs)
+    report = build_report(cases=cases, previous=previous, repeats=repeats)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=1)
     return report

@@ -42,6 +42,9 @@ Subcommands
 
 ``bench``
     The fixed kernel benchmark sweep; writes ``BENCH_kernel.json``.
+    ``--update`` is the committed-artifact mode: min-of-5 over the fixed
+    *and* extended cases, git + platform provenance, and the previous
+    generation of the file preserved under its ``trajectory`` key.
 
 Protocol-specific parameters are passed as repeated ``--param key=value``
 options; values are parsed as JSON when possible (``--param
@@ -220,6 +223,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser("bench", help="fixed kernel benchmark; writes BENCH_kernel.json")
     bench.add_argument("--out", default="BENCH_kernel.json")
+    bench.add_argument(
+        "--update", action="store_true",
+        help="committed-artifact mode: min-of-5 over the fixed AND extended "
+             "sweeps, git+platform provenance, previous numbers preserved "
+             "under 'trajectory' (replaces the old hand-run script dance)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=None,
+        help="timed repetitions per case (default: 3, or 5 with --update)",
+    )
 
     return parser
 
@@ -384,7 +397,7 @@ def cmd_registries(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    report = write_report(args.out)
+    report = write_report(args.out, update=args.update, repeats=args.repeats)
     print(json.dumps(report, indent=1))
     print(f"report written to {args.out}")
     return 0

@@ -6,6 +6,18 @@ plan's specs across a worker pool (or runs them serially for ``jobs=1``),
 preserving plan order in the returned :class:`SweepResult` regardless of
 completion order.  Results serialise to the JSON layout used by the repo's
 ``BENCH_*.json`` trajectory files.
+
+Scheduling is dynamic: specs are dispatched **unordered with explicit
+chunking** (``imap_unordered``, chunk size 1 by default), so one slow spec —
+a large-``n`` asynchronous run — no longer pins a worker while its statically
+chunked siblings idle behind it; records are reassembled into plan order from
+the ``(index, record)`` pairs the workers return.
+
+:class:`WorkerPool` is the warm-pool primitive: one ``multiprocessing`` pool
+kept alive and handed to any number of ``SweepRunner.run`` calls, so a
+multi-plan driver (the report builder's sections, back-to-back sweeps) pays
+pool spin-up once instead of per plan.  Workers are primed by a
+sampler-table prewarm initializer (see :func:`_worker_init`).
 """
 
 from __future__ import annotations
@@ -15,7 +27,7 @@ import multiprocessing
 import os
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.plan import ExperimentPlan, ExperimentSpec
 
@@ -171,6 +183,95 @@ def _worker_context():
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
+def _worker_init(prewarm: Sequence[tuple]) -> None:
+    """Pool initializer: import the registries and prewarm sampler tables.
+
+    ``prewarm`` holds ``(n, seed, quorum_multiplier)`` triples of the first
+    few distinct AER configurations of the plan; building their suites here
+    primes the process-local suite cache (:meth:`AERConfig.shared_samplers`)
+    before the first task arrives, and the imports pay the registry setup
+    cost once per worker instead of inside the first timed spec.
+    """
+    import repro.protocols  # noqa: F401  (registers every adapter)
+    from repro.core.config import AERConfig, prewarm_samplers
+
+    for n, seed, quorum_multiplier in prewarm:
+        prewarm_samplers(
+            AERConfig.for_system(
+                int(n), sampler_seed=int(seed), quorum_multiplier=float(quorum_multiplier)
+            )
+        )
+
+
+def _prewarm_args(specs: Sequence[ExperimentSpec], limit: int = 4) -> Tuple[tuple, ...]:
+    """Distinct sampler-relevant triples of the plan's AER-family specs."""
+    seen = []
+    for spec in specs:
+        triple = (spec.n, spec.seed, spec.quorum_multiplier)
+        if triple not in seen:
+            seen.append(triple)
+            if len(seen) >= limit:
+                break
+    return tuple(seen)
+
+
+def _execute_indexed(task: Tuple[int, ExperimentSpec]) -> Tuple[int, ExperimentRecord]:
+    """Worker entry point for unordered dispatch: tag the record with its slot."""
+    index, spec = task
+    return index, execute_spec(spec)
+
+
+class WorkerPool:
+    """A warm multiprocessing pool shared across any number of sweep runs.
+
+    ``SweepRunner.run(pool=...)`` reuses the pool instead of building (and
+    tearing down) a fresh one per plan; the pool lazily starts on first use
+    and *grows* (rebuilds larger) if a later plan asks for more workers than
+    it currently has.  Use as a context manager::
+
+        with WorkerPool() as pool:
+            for plan in plans:
+                SweepRunner(plan).run(pool=pool)
+    """
+
+    def __init__(self, processes: Optional[int] = None) -> None:
+        #: upper bound on pool size (``None``: grow as plans demand)
+        self.processes = processes
+        self._pool = None
+        self._size = 0
+
+    @property
+    def size(self) -> int:
+        """Current number of worker processes (0 before first use)."""
+        return self._size
+
+    def acquire(self, jobs: int, prewarm: Sequence[tuple] = ()):
+        """Return a pool with at least ``min(jobs, self.processes)`` workers."""
+        want = jobs if self.processes is None else min(jobs, self.processes)
+        want = max(1, want)
+        if self._pool is None or self._size < want:
+            self.close()
+            self._pool = _worker_context().Pool(
+                processes=want, initializer=_worker_init, initargs=(tuple(prewarm),)
+            )
+            self._size = want
+        return self._pool
+
+    def close(self) -> None:
+        """Terminate the workers (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._size = 0
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 class SweepRunner:
     """Fan an :class:`ExperimentPlan` across worker processes.
 
@@ -182,34 +283,65 @@ class SweepRunner:
         Worker processes; ``None`` picks ``min(cpu_count, len(plan))``, and
         ``1`` runs serially in-process (no pool), which is what tests use for
         determinism of coverage measurements and debuggability.
+    chunksize:
+        Specs per dispatch unit of the unordered scheduler.  The default of
+        1 maximises load balance (one slow spec never holds hostages);
+        raise it only for plans of very many very short specs, where
+        per-task IPC would dominate.
     """
 
-    def __init__(self, plan: ExperimentPlan, jobs: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        plan: ExperimentPlan,
+        jobs: Optional[int] = None,
+        chunksize: int = 1,
+    ) -> None:
         self.plan = plan
         self.jobs = jobs
+        self.chunksize = max(1, chunksize)
 
     def resolve_jobs(self, spec_count: int) -> int:
         if self.jobs is not None:
             return max(1, self.jobs)
         return max(1, min(os.cpu_count() or 1, spec_count))
 
-    def run(self) -> SweepResult:
+    def run(self, pool: Optional[WorkerPool] = None) -> SweepResult:
         """Execute every spec of the plan; records come back in plan order.
 
         Every spec is validated against its protocol adapter *before* any
         worker starts, so a bad parameter fails fast instead of half-way
-        through a long sweep.
+        through a long sweep.  Dispatch is unordered with explicit chunking
+        (one slow spec cannot pin siblings behind it in a static chunk);
+        the ``(index, record)`` pairs are reassembled into plan order.
+        When ``pool`` is given its warm workers are reused (and kept alive
+        for the caller's next plan) instead of spinning up a fresh pool.
         """
         specs = self.plan.specs()
         for spec in specs:
             spec.validate()
         jobs = self.resolve_jobs(len(specs))
         start = time.perf_counter()
-        if jobs == 1 or len(specs) <= 1:
+        if (jobs == 1 or len(specs) <= 1) and pool is None:
             records = [execute_spec(spec) for spec in specs]
         else:
-            with _worker_context().Pool(processes=jobs) as pool:
-                records = pool.map(execute_spec, specs)
+            prewarm = _prewarm_args(specs)
+            if pool is not None:
+                worker_pool = pool.acquire(jobs, prewarm)
+                jobs = min(pool.size, max(1, len(specs)))
+            else:
+                worker_pool = _worker_context().Pool(
+                    processes=jobs, initializer=_worker_init, initargs=(prewarm,)
+                )
+            try:
+                records: List[Optional[ExperimentRecord]] = [None] * len(specs)
+                for index, record in worker_pool.imap_unordered(
+                    _execute_indexed, list(enumerate(specs)), chunksize=self.chunksize
+                ):
+                    records[index] = record
+            finally:
+                if pool is None:
+                    worker_pool.terminate()
+                    worker_pool.join()
         total_seconds = time.perf_counter() - start
         return SweepResult(
             plan=self.plan, records=records, total_seconds=total_seconds, jobs=jobs
@@ -220,9 +352,10 @@ def run_sweep(
     plan: ExperimentPlan,
     jobs: Optional[int] = None,
     out: Optional[str] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> SweepResult:
     """Convenience wrapper: run a plan and optionally persist the result."""
-    result = SweepRunner(plan, jobs=jobs).run()
+    result = SweepRunner(plan, jobs=jobs).run(pool=pool)
     if out is not None:
         result.save(out)
     return result

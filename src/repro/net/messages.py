@@ -62,10 +62,15 @@ class SizeModel:
 class Message:
     """Base class for every message exchanged in a simulation.
 
-    Subclasses are expected to be immutable (frozen dataclasses) so that the
-    adversary observing a message cannot mutate it in flight, and to override
+    Subclasses are expected to be immutable (frozen dataclasses, preferably
+    with ``slots=True`` — a slotted message has no per-instance ``__dict__``,
+    which matters when millions are in flight) so that the adversary
+    observing a message cannot mutate it in flight, and to override
     :meth:`bits` with their exact cost.
     """
+
+    #: slotted so that slotted dataclass subclasses stay dict-free
+    __slots__ = ()
 
     #: short human-readable tag, overridden by subclasses
     kind: str = "message"

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.net.kernel import AdversaryProtocol, EventKernel, SendRecord
+from repro.net.kernel import AdversaryProtocol, EventKernel, SendRecord, paused_gc
 from repro.net.messages import Message, SizeModel
 from repro.net.node import Node
 from repro.net.results import SimulationResult
@@ -90,6 +90,7 @@ class SynchronousSimulator(EventKernel):
         if not dests:
             return
         dests = tuple(dests)
+        message = self.intern_payload(message)
         bits = self.metrics.record_send_many(sender, dests, message, float(self._round))
         self._outbox.append((sender, dests, message, bits))
         if self.trace is not None:
@@ -97,6 +98,10 @@ class SynchronousSimulator(EventKernel):
 
     def run(self) -> SimulationResult:
         """Execute rounds until every correct node decides or ``max_rounds`` is hit."""
+        with paused_gc():
+            return self._run()
+
+    def _run(self) -> SimulationResult:
         # Round 0: protocol start.
         for node_id in self.correct_ids:
             self.nodes[node_id].on_start()

@@ -101,7 +101,7 @@ class AERProtocolAdapter(ProtocolAdapter):
             knowledge_fraction=p["knowledge_fraction"],
             wrong_candidate_mode=p["wrong_candidate_mode"],
         )
-        samplers = config.build_samplers()
+        samplers = config.shared_samplers()
         adversary = make_adversary(str(p["adversary"]), scenario, config, samplers)
         trace = collector_for_spec(spec)
         if trace is not None:
@@ -283,7 +283,7 @@ class _ScenarioBaselineAdapter(ProtocolAdapter):
         from repro.runner import make_adversary
 
         config = AERConfig.for_system(spec.n, sampler_seed=spec.seed)
-        return make_adversary(name, scenario, config, config.build_samplers())
+        return make_adversary(name, scenario, config, config.shared_samplers())
 
 
 @register_protocol

@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.sweep import SweepResult, SweepRunner
+from repro.experiments.sweep import SweepResult, SweepRunner, WorkerPool
 from repro.report.base import (
     ReportSection,
     get_report_section,
@@ -57,7 +57,7 @@ def _git_commit() -> str:
             ["git", "rev-parse", "--short", "HEAD"],
             capture_output=True, text=True, timeout=10, check=False,
         )
-    except OSError:  # pragma: no cover - git missing entirely
+    except (OSError, subprocess.SubprocessError):  # pragma: no cover - git missing/hung
         return "unknown"
     return out.stdout.strip() or "unknown"
 
@@ -109,28 +109,42 @@ class ReportBuilder:
         mode = "quick" if self.quick else "full"
         return self.cache_dir / f"{section.name}--{mode}.json"
 
-    def _run_section(self, section: ReportSection) -> Tuple[SweepResult, bool]:
+    def _run_section(
+        self, section: ReportSection, pool: Optional[WorkerPool]
+    ) -> Tuple[SweepResult, bool]:
         plan = section.plan(quick=self.quick)
         path = self._cache_path(section)
         if path is not None and path.exists():
             cached = SweepResult.load(str(path))
             if cached.plan.to_dict() == plan.to_dict():
                 return cached, True
-        sweep = SweepRunner(plan, jobs=self.jobs).run()
+        sweep = SweepRunner(plan, jobs=self.jobs).run(pool=pool)
         if path is not None:
             path.parent.mkdir(parents=True, exist_ok=True)
             sweep.save(str(path))
         return sweep, False
 
     def build_sections(self) -> List[BuiltSection]:
-        """Run (or reload) every requested section and render its Markdown."""
+        """Run (or reload) every requested section and render its Markdown.
+
+        All sections share one :class:`~repro.experiments.sweep.WorkerPool`:
+        the pool spins up lazily for the first section that actually needs
+        workers and its warm (sampler-prewarmed) processes are reused by
+        every following section, instead of paying pool startup per plan.
+        ``jobs=1`` keeps the fully serial in-process path.
+        """
         built = []
-        for section in self.sections:
-            sweep, from_cache = self._run_section(section)
-            markdown = section.render(sweep.records, quick=self.quick)
-            built.append(
-                BuiltSection(section=section, sweep=sweep, markdown=markdown, from_cache=from_cache)
-            )
+        serial = self.jobs is not None and self.jobs <= 1
+        with WorkerPool(processes=self.jobs) as pool:
+            shared_pool = None if serial else pool
+            for section in self.sections:
+                sweep, from_cache = self._run_section(section, shared_pool)
+                markdown = section.render(sweep.records, quick=self.quick)
+                built.append(
+                    BuiltSection(
+                        section=section, sweep=sweep, markdown=markdown, from_cache=from_cache
+                    )
+                )
         return built
 
     # ------------------------------------------------------------------

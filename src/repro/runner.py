@@ -76,7 +76,7 @@ def run_aer(
     if config is None:
         config = AERConfig.for_system(scenario.n)
     if samplers is None:
-        samplers = config.build_samplers()
+        samplers = config.shared_samplers()
     if adversary is None and adversary_name is not None:
         adversary = make_adversary(adversary_name, scenario, config, samplers)
 
@@ -150,7 +150,7 @@ def run_aer_experiment(
         wrong_candidate_mode=wrong_candidate_mode,
         seed=seed,
     )
-    samplers = config.build_samplers()
+    samplers = config.shared_samplers()
     adversary = make_adversary(adversary_name, scenario, config, samplers)
     return run_aer(
         scenario,

@@ -3,9 +3,13 @@
 ``tests/golden/engine_golden.json`` pins the externally visible outcome of
 the simulation engine — per-node decisions, round/span timing, per-node and
 total bit metrics — for a matrix of (mode, adversary, n, seed) cases, as
-produced by the pre-kernel seed engine.  These tests assert the current
-engine reproduces every pinned value *exactly*, which is what makes kernel
-and sampler refactors provably behavior-preserving.
+produced by the pre-columnar engine (the original entries by the pre-kernel
+seed engine).  These tests assert the current engine reproduces every pinned
+value *exactly*, which is what makes kernel and sampler refactors provably
+behavior-preserving.  The matrix deliberately covers both scheduler paths of
+the columnar engine: the adversary-free fast paths (grouped sync inboxes,
+the async calendar queue) and the per-message adversary paths, including the
+rushing observation list and the ``cornering_nodelay`` delay adversary.
 
 If a PR intentionally changes engine behaviour, regenerate the fixture with
 ``scripts/gen_golden.py`` and call the change out explicitly.
@@ -15,9 +19,11 @@ from __future__ import annotations
 
 import json
 import pathlib
+from dataclasses import fields
 
 import pytest
 
+from repro.experiments.plan import ExperimentSpec
 from repro.runner import run_aer_experiment
 
 GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "engine_golden.json"
@@ -52,3 +58,29 @@ def test_engine_reproduces_golden_case(case_key):
     assert {
         str(i): t for i, t in result.metrics.decision_times.items()
     } == expected["decision_times"]
+
+
+def test_trace_summary_equals_off_async_n256():
+    """``trace="summary"`` must not perturb the async fast path at bench scale.
+
+    The BENCH_kernel async case (n=256, no adversary) runs once with tracing
+    off and once with the summary collector attached; every normalized
+    metric must agree exactly — probes observe the grouped dispatch records,
+    they never change scheduling, RNG consumption or accounting.
+    """
+    base = ExperimentSpec(n=256, adversary="none", mode="async", seed=0)
+    off = base.run()
+    summary = base.with_(trace="summary").run()
+
+    assert off.trace is None
+    assert summary.trace is not None and summary.trace["mode"] == "summary"
+    for field in fields(type(off)):
+        if field.name in ("trace", "raw"):
+            continue
+        assert getattr(summary, field.name) == getattr(off, field.name), field.name
+    # the trace block itself must agree with the kernel's own accounting
+    dispatched = sum(
+        kinds["messages"]
+        for kinds in summary.trace["message_kinds"].values()
+    )
+    assert dispatched == off.total_messages

@@ -111,6 +111,61 @@ class TestSweepRunner:
         assert loaded.records == sweep.records
         assert loaded.jobs == sweep.jobs
 
+    def test_unordered_dispatch_reassembles_plan_order(self):
+        """Mixed-duration specs come back in plan order despite unordered dispatch."""
+        from repro.experiments import ExperimentPlan
+
+        plan = ExperimentPlan(ns=(40, 24, 32), modes=("sync",), seeds=(3,))
+        parallel = SweepRunner(plan, jobs=2).run()
+        serial = SweepRunner(plan, jobs=1).run()
+        assert [r.spec.n for r in parallel.records] == [40, 24, 32]
+        for a, b in zip(serial.records, parallel.records):
+            assert a.spec == b.spec
+            assert a.total_bits == b.total_bits
+
+
+class TestWorkerPool:
+    def test_pool_is_reused_across_plans(self):
+        from repro.experiments import ExperimentPlan
+        from repro.experiments.sweep import WorkerPool
+
+        plan_a = ExperimentPlan(ns=(24,), modes=("sync",), seeds=(3, 4))
+        plan_b = ExperimentPlan(ns=(24,), modes=("sync",), seeds=(5, 6))
+        with WorkerPool() as pool:
+            first = SweepRunner(plan_a, jobs=2).run(pool=pool)
+            inner = pool._pool
+            assert pool.size == 2
+            second = SweepRunner(plan_b, jobs=2).run(pool=pool)
+            assert pool._pool is inner  # same warm workers, no respawn
+        assert pool.size == 0  # context exit tears the pool down
+        assert [r.spec.seed for r in first.records] == [3, 4]
+        assert [r.spec.seed for r in second.records] == [5, 6]
+
+    def test_pool_grows_for_larger_plans(self):
+        from repro.experiments import ExperimentPlan
+        from repro.experiments.sweep import WorkerPool
+
+        with WorkerPool() as pool:
+            SweepRunner(
+                ExperimentPlan(ns=(24,), modes=("sync",), seeds=(3,)), jobs=2
+            ).run(pool=pool)
+            assert pool.size == 2
+            SweepRunner(
+                ExperimentPlan(ns=(24,), modes=("sync",), seeds=(3, 4, 5)), jobs=3
+            ).run(pool=pool)
+            assert pool.size == 3
+
+    def test_pooled_results_match_serial(self):
+        from repro.experiments.sweep import WorkerPool
+
+        serial = SweepRunner(SMALL_PLAN, jobs=1).run()
+        with WorkerPool() as pool:
+            pooled = SweepRunner(SMALL_PLAN, jobs=2).run(pool=pool)
+        for a, b in zip(serial.records, pooled.records):
+            assert a.spec == b.spec
+            assert a.total_bits == b.total_bits
+            assert a.rounds == b.rounds
+
 
 class TestCLI:
     def test_run_command(self, capsys):

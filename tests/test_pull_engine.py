@@ -235,6 +235,41 @@ class TestProxyHops:
             engine.on_fw1(sender, message)
         assert owner.sent_of_type(Fw2Message) == []
 
+    def test_fw1_forged_label_does_not_count_after_state_exists(self, samplers):
+        """A quorum member forging the label gets no vote, even on a warm key.
+
+        Regression for the columnar fast path: once a legitimate Fw1 created
+        the per-key state, later Fw1s carrying a label whose ``(origin,
+        label, target)`` triple is *not* a real poll-list edge must still be
+        filtered — a Byzantine member of ``H(s, origin)`` must not complete
+        the majority with forged-label copies, and the forged label must not
+        leak into the eventual Fw2.
+        """
+        pull_sampler, poll_sampler = samplers
+        poller, label = 5, 7
+        target = poll_sampler.poll_list(poller, label)[0]
+        bogus_label = next(
+            r for r in range(poll_sampler.label_space)
+            if not poll_sampler.contains(poller, r, target)
+        )
+        me = pull_sampler.quorum(GSTRING, target)[0]
+        owner, engine = make_engine(samplers, node_id=me, believed=GSTRING)
+        origin_quorum = pull_sampler.quorum(GSTRING, poller)
+        threshold = pull_sampler.majority_threshold(GSTRING, poller)
+        good = Fw1Message(origin=poller, candidate=GSTRING, label=label, target=target)
+        engine.on_fw1(origin_quorum[0], good)  # creates the per-key state
+        for sender in origin_quorum[1:threshold]:
+            forged = Fw1Message(
+                origin=poller, candidate=GSTRING, label=bogus_label, target=target
+            )
+            engine.on_fw1(sender, forged)
+        assert owner.sent_of_type(Fw2Message) == []  # forged votes did not count
+        # the remaining legitimate copies still complete the majority
+        for sender in origin_quorum[1:threshold]:
+            engine.on_fw1(sender, good)
+        fw2 = owner.sent_of_type(Fw2Message)
+        assert len(fw2) == 1 and fw2[0][1].label == label
+
     def test_fw1_from_non_quorum_sender_ignored(self, samplers):
         pull_sampler, poll_sampler = samplers
         poller, label = 5, 7
