@@ -105,6 +105,31 @@ class MeanEstimate:
             return f"{self.mean:.{digits}f}"
         return f"{self.mean:.{digits}f} ±{self.half_width:.{digits}f}"
 
+    def overlaps(self, other: "MeanEstimate") -> bool:
+        """Whether the two confidence intervals share at least one point.
+
+        Interval overlap is the (conservative) equivalence criterion the
+        backend-equivalence harness uses: two estimators of the same quantity
+        whose CIs are disjoint differ at roughly the ``2σ`` level.  Point
+        estimates (``half_width == 0``) degenerate to containment checks.
+        """
+        return self.low <= other.high and other.low <= self.high
+
+
+def distributions_equivalent(
+    a: Iterable[float], b: Iterable[float], z: float = 1.96
+) -> bool:
+    """CI-overlap check between two samples of the same metric.
+
+    Computes :func:`mean_ci` for both samples and reports whether the
+    intervals overlap.  This is what "statistically equivalent" means for
+    the vectorized backend at sizes where draw orders diverge (see
+    ARCHITECTURE.md "engine backends"): across seeds, the two backends'
+    rounds/bits/decision distributions must be indistinguishable at the
+    ``z`` level, even where per-seed results are not bit-identical.
+    """
+    return mean_ci(a, z=z).overlaps(mean_ci(b, z=z))
+
 
 def mean_ci(values: Iterable[float], z: float = 1.96) -> MeanEstimate:
     """Mean ± z·stderr of the sample (the report tables' cross-seed columns)."""

@@ -38,10 +38,24 @@ FIXED_SWEEP = (
     ExperimentSpec(n=256, adversary="none", mode="async", seed=0),
 )
 
-#: larger cases recorded since the columnar fast path; no seed baseline
+#: larger cases recorded since the columnar fast path; no seed baseline.
+#: The ``n=4096`` pair times the same spec on both engine backends (the
+#: vectorized speedup gate); ``n=10**5`` is the vectorized-only headline case.
 EXTENDED_SWEEP = (
     ExperimentSpec(n=1024, adversary="none", mode="sync", seed=0),
     ExperimentSpec(n=512, adversary="none", mode="async", seed=0),
+    ExperimentSpec(
+        n=4096, adversary="none", mode="sync", seed=0,
+        wrong_candidate_mode="common_wrong",
+    ),
+    ExperimentSpec(
+        n=4096, adversary="none", mode="sync", seed=0,
+        wrong_candidate_mode="common_wrong", backend="vectorized",
+    ),
+    ExperimentSpec(
+        n=100_000, adversary="none", mode="sync", seed=0,
+        wrong_candidate_mode="common_wrong", backend="vectorized",
+    ),
 )
 
 #: timed repetitions for the quick local check (``python -m repro bench``)
@@ -62,15 +76,49 @@ SEED_BASELINE_SECONDS: Dict[str, float] = {
 
 
 def _git_commit() -> str:
-    """Short HEAD commit, or ``"unknown"`` outside a git checkout."""
+    """Short HEAD commit (``+dirty`` if the tree has uncommitted changes).
+
+    The dirty marker is the provenance fix for the trajectory file: a sweep
+    measured on top of uncommitted work used to be silently attributed to
+    the parent commit, so ``BENCH_kernel.json`` could claim numbers for a
+    tree that never existed.  ``"unknown"`` outside a git checkout.
+    """
     try:
         out = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
             capture_output=True, text=True, timeout=10, check=False,
         )
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True, text=True, timeout=10, check=False,
+        )
     except (OSError, subprocess.SubprocessError):  # pragma: no cover - git missing/hung
         return "unknown"
-    return out.stdout.strip() or "unknown"
+    commit = out.stdout.strip() or "unknown"
+    if commit != "unknown" and status.stdout.strip():
+        commit += "+dirty"
+    return commit
+
+
+def verify_provenance(path: str = "BENCH_kernel.json") -> str:
+    """Assert the recorded measurement commit matches the checked-out HEAD.
+
+    The CI perf job regenerates the quick sweep and then calls this, so the
+    pipeline fails loudly if the provenance machinery ever stops recording
+    the measurement-time commit (the ``d567550`` staleness this replaces).
+    Returns the verified commit string.
+    """
+    with open(path, encoding="utf-8") as fh:
+        report = json.load(fh)
+    recorded = str((report.get("git") or {}).get("commit") or "unknown")
+    head = _git_commit()
+    if recorded != head:
+        raise RuntimeError(
+            f"stale benchmark provenance in {path}: recorded git.commit is "
+            f"{recorded!r} but HEAD is {head!r}; re-run `python -m repro bench "
+            "--update` at the commit being measured"
+        )
+    return recorded
 
 
 def run_fixed_sweep(
@@ -98,6 +146,7 @@ def run_fixed_sweep(
                 "adversary": spec.adversary,
                 "mode": spec.mode,
                 "seed": spec.seed,
+                "backend": spec.backend,
                 "seconds": min(times),
                 "seconds_all": times,
                 "agreement_reached": result.agreement,
@@ -137,8 +186,14 @@ def build_report(
     cases: Optional[List[Dict[str, object]]] = None,
     previous: Optional[Dict[str, object]] = None,
     repeats: int = DEFAULT_REPEATS,
+    commit: Optional[str] = None,
 ) -> Dict[str, object]:
-    """Assemble the BENCH_kernel.json payload (running the sweep if needed)."""
+    """Assemble the BENCH_kernel.json payload (running the sweep if needed).
+
+    ``commit`` is the commit captured *at measurement time* by
+    :func:`write_report`; it defaults to the current HEAD only when cases are
+    timed right here.
+    """
     if cases is None:
         cases = run_fixed_sweep(repeats=repeats)
     speedups = {}
@@ -184,7 +239,7 @@ def build_report(
             "python": platform.python_version(),
             "machine": platform.machine(),
         },
-        "git": {"commit": _git_commit()},
+        "git": {"commit": commit or _git_commit()},
         "repeats": max(1, repeats),
         "baseline_seconds": SEED_BASELINE_SECONDS,
         "cases": cases,
@@ -196,6 +251,12 @@ def build_report(
             round(total_baseline / total_current, 2) if total_current else None
         ),
     }
+    # Same-spec message-vs-vectorized ratio at n=4096 (the backend gate).
+    by_key = {str(c["key"]): float(c["seconds"]) for c in cases if c["seconds"]}
+    msg_4096 = by_key.get("sync:none:n4096:s0")
+    vec_4096 = by_key.get("sync:none:n4096:s0:vec")
+    if msg_4096 and vec_4096:
+        report["speedup_vectorized_n4096"] = round(msg_4096 / vec_4096, 2)
     if trajectory:
         report["trajectory"] = trajectory
     if speedup_vs_previous:
@@ -239,8 +300,11 @@ def write_report(
     if repeats is None:
         repeats = UPDATE_REPEATS if update else DEFAULT_REPEATS
     specs = tuple(FIXED_SWEEP) + (tuple(EXTENDED_SWEEP) if update else ())
+    # Capture provenance *before* the (long) timed sweep: the numbers belong
+    # to the tree as it stood when measurement started, not when it finished.
+    commit = _git_commit()
     cases = run_fixed_sweep(repeats=repeats, specs=specs)
-    report = build_report(cases=cases, previous=previous, repeats=repeats)
+    report = build_report(cases=cases, previous=previous, repeats=repeats, commit=commit)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=1)
     return report

@@ -95,6 +95,14 @@ def _parse_params(pairs: Optional[Sequence[str]]) -> Dict[str, object]:
 
 
 def _add_shared_spec_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        default="message",
+        choices=["message", "vectorized"],
+        help="engine backend: 'message' (per-message kernel, the oracle) or "
+             "'vectorized' (whole-round numpy engine; sync, non-rushing, "
+             "untraced protocols only)",
+    )
     parser.add_argument("--rushing", action="store_true", help="rushing sync adversary")
     parser.add_argument("--t", type=int, default=None, help="number of Byzantine nodes")
     parser.add_argument("--knowledge-fraction", type=float, default=0.78)
@@ -233,6 +241,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--repeats", type=int, default=None,
         help="timed repetitions per case (default: 3, or 5 with --update)",
     )
+    bench.add_argument(
+        "--verify-provenance", action="store_true",
+        help="don't run anything; assert the recorded git.commit in the "
+             "report matches the checked-out HEAD (the CI perf-job guard)",
+    )
+
+    equivalence = sub.add_parser(
+        "equivalence",
+        help="check the vectorized backend against the message kernel "
+             "(bit-exact at small n, cross-seed CI overlap at large n)",
+    )
+    equivalence.add_argument(
+        "--mode", default="exact", choices=["exact", "statistical"],
+        help="'exact' demands identical results per seed; 'statistical' "
+             "compares cross-seed metric CIs (default: exact)",
+    )
+    equivalence.add_argument(
+        "--ns", type=_csv_ints, default=None,
+        help="system sizes (default: 48,64 exact; 4096,10000 statistical)",
+    )
+    equivalence.add_argument(
+        "--seeds", type=int, default=None,
+        help="number of seeds 0..k-1 (default: 2 exact; 10 statistical)",
+    )
+    equivalence.add_argument(
+        "--adversaries", type=_csv_strs, default=None,
+        help="adversaries for exact mode (default: all vectorized-capable); "
+             "statistical mode uses the first entry only (default: none)",
+    )
 
     return parser
 
@@ -252,6 +289,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             quorum_multiplier=args.quorum_multiplier,
             trace=args.trace,
             params=_parse_params(args.param),
+            backend=args.backend,
         )
         result = spec.run()
     except ValueError as exc:
@@ -282,6 +320,7 @@ def _build_plan(args: argparse.Namespace, modes: List[str], adversaries: List[st
         quorum_multiplier=args.quorum_multiplier,
         trace=getattr(args, "trace", "off"),
         params=_parse_params(args.param),
+        backend=getattr(args, "backend", "message"),
     )
 
 
@@ -341,14 +380,22 @@ def cmd_protocols(args: argparse.Namespace) -> int:
     from repro.net.asynchronous import DELAY_POLICIES
     from repro.protocols import PROTOCOLS, SCENARIOS, get_protocol
 
+    rows = []
+    for name in PROTOCOLS.names():
+        adapter = get_protocol(name)
+        rows.append(
+            {
+                "protocol": name,
+                "trace": "yes" if adapter.supports_trace else "no",
+                "backends": ",".join(adapter.supports_backends),
+            }
+        )
+    print(format_table(rows, title="registered protocols"))
     if args.verbose:
-        print("protocols:")
         for name in PROTOCOLS.names():
             adapter = get_protocol(name)
             print(f"  {name:16s} {adapter.description}")
             print(f"  {'':16s} params: {', '.join(sorted(adapter.params))}")
-    else:
-        print(f"protocols      : {', '.join(PROTOCOLS.names())}")
     print(f"adversaries    : {', '.join(ADVERSARIES.names())}")
     print(f"delay policies : {', '.join(DELAY_POLICIES.names())}")
     print(f"scenarios      : {', '.join(SCENARIOS.names())}")
@@ -397,10 +444,65 @@ def cmd_registries(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    if args.verify_provenance:
+        from repro.experiments.bench import verify_provenance
+
+        try:
+            commit = verify_provenance(args.out)
+        except (OSError, ValueError, RuntimeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"{args.out}: provenance OK (measured at {commit})")
+        return 0
     report = write_report(args.out, update=args.update, repeats=args.repeats)
     print(json.dumps(report, indent=1))
     print(f"report written to {args.out}")
     return 0
+
+
+def cmd_equivalence(args: argparse.Namespace) -> int:
+    from repro.analysis.equivalence import (
+        EXACT_ADVERSARIES,
+        check_exact,
+        check_statistical,
+    )
+
+    if args.mode == "exact":
+        ns = args.ns or [48, 64]
+        seeds = range(args.seeds if args.seeds is not None else 2)
+        adversaries = args.adversaries or list(EXACT_ADVERSARIES)
+        report = check_exact(ns=ns, adversaries=adversaries, seeds=list(seeds))
+        if report.ok:
+            print(f"exact equivalence OK: {report.cases} cases bit-identical")
+            return 0
+        for line in report.mismatches:
+            print(f"MISMATCH {line}", file=sys.stderr)
+        print(
+            f"error: {len(report.mismatches)} mismatch(es) in {report.cases} cases",
+            file=sys.stderr,
+        )
+        return 1
+    ns = args.ns or [4096, 10_000]
+    seeds = range(args.seeds if args.seeds is not None else 10)
+    adversary = (args.adversaries or ["none"])[0]
+    report = check_statistical(ns=ns, adversary=adversary, seeds=list(seeds))
+    rows = [
+        {
+            "n": n,
+            "metric": metric,
+            "message": a,
+            "vectorized": b,
+            "ci_overlap": "yes" if overlap else "NO",
+        }
+        for (n, metric), (a, b, overlap) in sorted(report.verdicts.items())
+    ]
+    print(format_table(rows, title=f"statistical equivalence ({report.seeds} seeds)"))
+    if report.ok:
+        print("statistical equivalence OK: all metric CIs overlap")
+        return 0
+    for line in report.failures():
+        print(f"DISJOINT {line}", file=sys.stderr)
+    return 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -419,6 +521,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_registries(args)
     if args.command == "bench":
         return cmd_bench(args)
+    if args.command == "equivalence":
+        return cmd_equivalence(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

@@ -84,6 +84,10 @@ class ExperimentSpec:
     #: protocol-specific extras as canonical JSON text (construct with a plain
     #: dict — ``params={"strategy": "naive"}`` — and read via params_dict())
     params: str = "{}"
+    #: engine backend: "message" (per-message oracle kernel, the default) or
+    #: "vectorized" (whole-round numpy engine for large n; sync-only, no
+    #: trace, subset of adversaries — see repro.vec)
+    backend: str = "message"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "params", _canonical_params(self.params))
@@ -93,10 +97,14 @@ class ExperimentSpec:
         """Compact unique-ish identifier used in logs and result files.
 
         AER keys keep their historical (protocol-less) format so recorded
-        benchmark baselines remain addressable across PRs.
+        benchmark baselines remain addressable across PRs; non-default
+        backends are marked with a ``:vec`` suffix so both backends of one
+        spec can coexist in a result file.
         """
         rushing = "-rushing" if self.rushing else ""
         base = f"{self.mode}{rushing}:{self.adversary}:n{self.n}:s{self.seed}"
+        if self.backend != "message":
+            base = f"{base}:vec"
         if self.protocol == "aer":
             return base
         return f"{self.protocol}:{base}"
@@ -120,6 +128,11 @@ class ExperimentSpec:
             raise ValueError(
                 f"unknown trace mode {self.trace!r} "
                 f"(expected {', '.join(repr(m) for m in TRACE_MODES)})"
+            )
+        if self.backend not in ("message", "vectorized"):
+            raise ValueError(
+                f"unknown backend {self.backend!r} "
+                f"(expected 'message' or 'vectorized')"
             )
         get_protocol(self.protocol).validate(self)
 
@@ -180,6 +193,8 @@ class ExperimentPlan:
     #: protocol-specific extras shared by every generated spec (canonical
     #: JSON text; construct with a plain dict)
     params: str = "{}"
+    #: engine backend shared by every generated spec (message|vectorized)
+    backend: str = "message"
     #: explicit extra specs appended after the grid (escape hatch for
     #: irregular sweeps that still want the runner/persistence machinery)
     extra_specs: Tuple[ExperimentSpec, ...] = field(default_factory=tuple)
@@ -209,6 +224,7 @@ class ExperimentPlan:
                 label=self.label,
                 trace=self.trace,
                 params=self.params,
+                backend=self.backend,
             )
             for n in self.ns
             for protocol in self.protocols

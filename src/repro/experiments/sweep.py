@@ -82,7 +82,9 @@ class ExperimentRecord:
             "protocol": spec.protocol,
             "n": spec.n,
             "adversary": spec.adversary,
-            "mode": spec.mode + ("-rushing" if spec.rushing else ""),
+            "mode": spec.mode
+            + ("-rushing" if spec.rushing else "")
+            + ("+vec" if spec.backend != "message" else ""),
             "seed": spec.seed,
             "decided": f"{self.decided_count}/{self.correct_count}",
             "agreement": int(self.agreement),
@@ -186,30 +188,35 @@ def _worker_context():
 def _worker_init(prewarm: Sequence[tuple]) -> None:
     """Pool initializer: import the registries and prewarm sampler tables.
 
-    ``prewarm`` holds ``(n, seed, quorum_multiplier)`` triples of the first
-    few distinct AER configurations of the plan; building their suites here
-    primes the process-local suite cache (:meth:`AERConfig.shared_samplers`)
-    before the first task arrives, and the imports pay the registry setup
+    ``prewarm`` holds ``(n, seed, quorum_multiplier, vectorized)`` tuples of
+    the first few distinct AER configurations of the plan; building their
+    suites here primes the process-local suite cache
+    (:meth:`AERConfig.shared_samplers`) — and, for vectorized-backend specs,
+    the process-local array-table provider (:func:`repro.vec.tables.tables_for`)
+    — before the first task arrives, and the imports pay the registry setup
     cost once per worker instead of inside the first timed spec.
     """
     import repro.protocols  # noqa: F401  (registers every adapter)
     from repro.core.config import AERConfig, prewarm_samplers
 
-    for n, seed, quorum_multiplier in prewarm:
-        prewarm_samplers(
-            AERConfig.for_system(
-                int(n), sampler_seed=int(seed), quorum_multiplier=float(quorum_multiplier)
-            )
+    for n, seed, quorum_multiplier, vectorized in prewarm:
+        config = AERConfig.for_system(
+            int(n), sampler_seed=int(seed), quorum_multiplier=float(quorum_multiplier)
         )
+        prewarm_samplers(config)
+        if vectorized:
+            from repro.vec.tables import prewarm_vec_tables
+
+            prewarm_vec_tables(config)
 
 
 def _prewarm_args(specs: Sequence[ExperimentSpec], limit: int = 4) -> Tuple[tuple, ...]:
-    """Distinct sampler-relevant triples of the plan's AER-family specs."""
+    """Distinct sampler-relevant tuples of the plan's AER-family specs."""
     seen = []
     for spec in specs:
-        triple = (spec.n, spec.seed, spec.quorum_multiplier)
-        if triple not in seen:
-            seen.append(triple)
+        entry = (spec.n, spec.seed, spec.quorum_multiplier, spec.backend == "vectorized")
+        if entry not in seen:
+            seen.append(entry)
             if len(seen) >= limit:
                 break
     return tuple(seen)

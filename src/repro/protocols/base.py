@@ -247,6 +247,14 @@ class ProtocolAdapter:
         resulting summary to ``RunResult.trace``).  Adapters that do not are
         rejected by :meth:`validate` for ``trace != "off"`` rather than
         silently returning untraced results.
+    ``supports_backends``
+        Engine backends the adapter can dispatch to.  Every adapter supports
+        ``"message"`` (the per-message oracle kernel); adapters with a
+        vectorized whole-round implementation (see :mod:`repro.vec`) add
+        ``"vectorized"``.  Specs naming an unsupported backend — or
+        combining ``backend="vectorized"`` with async mode, rushing or
+        tracing, none of which the vectorized engines implement — are
+        rejected by :meth:`validate` rather than silently falling back.
     """
 
     name: str = ""
@@ -254,6 +262,7 @@ class ProtocolAdapter:
     params: Mapping[str, object] = {}
     modes: Tuple[str, ...] = ("sync",)
     supports_trace: bool = False
+    supports_backends: Tuple[str, ...] = ("message",)
 
     #: spec knob fields that route into the protocol parameter space; their
     #: spec-level defaults, used to detect "was this knob actually set?"
@@ -288,6 +297,27 @@ class ProtocolAdapter:
                 f"protocol {self.name!r} does not support tracing "
                 f"(got trace={spec.trace!r}; only trace='off' is accepted)"
             )
+        if spec.backend not in self.supports_backends:
+            raise ValueError(
+                f"protocol {self.name!r} does not support backend "
+                f"{spec.backend!r} (supported: {', '.join(self.supports_backends)})"
+            )
+        if spec.backend == "vectorized":
+            if spec.mode != "sync":
+                raise ValueError(
+                    "backend='vectorized' is synchronous only "
+                    f"(got mode={spec.mode!r}); use backend='message' for async runs"
+                )
+            if spec.rushing:
+                raise ValueError(
+                    "backend='vectorized' does not implement a rushing adversary; "
+                    "use backend='message' for rushing runs"
+                )
+            if spec.trace != "off":
+                raise ValueError(
+                    "backend='vectorized' does not implement trace probes "
+                    f"(got trace={spec.trace!r}); use backend='message' for traced runs"
+                )
         for knob, default in self._KNOB_DEFAULTS.items():
             if knob in self.params:
                 continue
@@ -319,6 +349,8 @@ class ProtocolAdapter:
         }
         if spec.trace != "off" and not self.supports_trace:
             changes["trace"] = "off"
+        if spec.backend not in self.supports_backends:
+            changes["backend"] = "message"
         kept_params = {
             key: value for key, value in spec.params_dict().items() if key in self.params
         }

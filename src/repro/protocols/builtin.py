@@ -53,6 +53,7 @@ class AERProtocolAdapter(ProtocolAdapter):
     description = "AER almost-everywhere-to-everywhere agreement (the paper's Section 3)"
     modes = ("sync", "async")
     supports_trace = True
+    supports_backends = ("message", "vectorized")
     params = {
         "adversary": "none",
         "mode": "sync",
@@ -74,6 +75,16 @@ class AERProtocolAdapter(ProtocolAdapter):
             raise ValueError(
                 "delay_policy only applies to mode='async' (sync rounds have no delays)"
             )
+        if spec.backend == "vectorized":
+            from repro.vec.engine import VEC_ADVERSARIES
+
+            adversary = str(self.resolve_params(spec)["adversary"])
+            if adversary not in VEC_ADVERSARIES:
+                raise ValueError(
+                    f"backend='vectorized' does not support adversary "
+                    f"{adversary!r} (supported: {', '.join(VEC_ADVERSARIES)}); "
+                    "use backend='message'"
+                )
 
     def run(self, spec) -> RunResult:
         # The parameter resolution below mirrors repro.runner.run_aer_experiment
@@ -101,6 +112,21 @@ class AERProtocolAdapter(ProtocolAdapter):
             knowledge_fraction=p["knowledge_fraction"],
             wrong_candidate_mode=p["wrong_candidate_mode"],
         )
+        if spec.backend == "vectorized":
+            # validate() already pinned sync mode, no rushing, no trace and a
+            # supported adversary; the vectorized engine resolves the
+            # adversary by name and replays its RNG stream itself.
+            result = run_aer(
+                scenario,
+                config=config,
+                adversary_name=str(p["adversary"]),
+                seed=seed,
+                max_rounds=int(p["max_rounds"]),  # type: ignore[call-overload]
+                backend="vectorized",
+            )
+            return RunResult.from_simulation(
+                self.name, result, _gstring_extras(result, scenario)
+            )
         samplers = config.shared_samplers()
         adversary = make_adversary(str(p["adversary"]), scenario, config, samplers)
         trace = collector_for_spec(spec)
@@ -292,7 +318,22 @@ class SampleMajorityAdapter(_ScenarioBaselineAdapter):
 
     name = "sample_majority"
     description = "load-balanced sampled-majority baseline (KLST11-style, O~(sqrt n))"
+    supports_backends = ("message", "vectorized")
     params = {**_ScenarioBaselineAdapter.params, "sample_multiplier": 1.0}
+
+    def validate(self, spec) -> None:
+        super().validate(spec)
+        if spec.backend == "vectorized":
+            from repro.vec.majority import VEC_MAJORITY_ADVERSARIES
+
+            adversary = str(self.resolve_params(spec)["adversary"])
+            if adversary not in VEC_MAJORITY_ADVERSARIES:
+                raise ValueError(
+                    f"backend='vectorized' does not support adversary "
+                    f"{adversary!r} for sample_majority "
+                    f"(supported: {', '.join(VEC_MAJORITY_ADVERSARIES)}); "
+                    "use backend='message'"
+                )
 
     def run(self, spec) -> RunResult:
         from repro.baselines.sample_majority import (
@@ -307,6 +348,19 @@ class SampleMajorityAdapter(_ScenarioBaselineAdapter):
             string_length=len(scenario.gstring),
             sample_multiplier=float(p["sample_multiplier"]),  # type: ignore[arg-type]
         )
+        if spec.backend == "vectorized":
+            from repro.vec.majority import run_sample_majority_vectorized
+
+            result = run_sample_majority_vectorized(
+                scenario,
+                config=config,
+                adversary_name=str(p["adversary"]),
+                seed=spec.seed,
+                max_rounds=int(p["max_rounds"]),  # type: ignore[call-overload]
+            )
+            return RunResult.from_simulation(
+                self.name, result, _gstring_extras(result, scenario)
+            )
         trace = collector_for_spec(spec)
         result = run_sample_majority(
             scenario,

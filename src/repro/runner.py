@@ -50,6 +50,7 @@ def run_aer(
     delay_policy: Optional[DelayPolicy] = None,
     samplers: Optional[SamplerSuite] = None,
     trace=None,
+    backend: str = "message",
 ) -> SimulationResult:
     """Run AER on a scenario and return the simulation result.
 
@@ -72,9 +73,37 @@ def run_aer(
         Optional :class:`~repro.trace.collector.TraceCollector`, threaded
         into the nodes' phase engines and the scheduler; ``None`` (default)
         is the zero-cost disabled path.
+    backend:
+        ``"message"`` (this per-message kernel, the oracle) or
+        ``"vectorized"`` (the whole-round numpy engine of
+        :mod:`repro.vec` — sync-only, non-rushing, untraced, adversary
+        resolved by name).
     """
     if config is None:
         config = AERConfig.for_system(scenario.n)
+    if backend == "vectorized":
+        from repro.vec.engine import run_aer_vectorized
+
+        if mode != "sync":
+            raise ValueError("backend='vectorized' is synchronous only")
+        if rushing:
+            raise ValueError("backend='vectorized' does not implement rushing")
+        if trace is not None:
+            raise ValueError("backend='vectorized' does not implement tracing")
+        if adversary is not None:
+            raise ValueError(
+                "backend='vectorized' resolves adversaries by name; pass "
+                "adversary_name instead of a constructed adversary"
+            )
+        return run_aer_vectorized(
+            scenario,
+            config=config,
+            adversary_name=adversary_name or "none",
+            seed=seed,
+            max_rounds=max_rounds,
+        )
+    if backend != "message":
+        raise ValueError(f"unknown backend {backend!r} (expected 'message' or 'vectorized')")
     if samplers is None:
         samplers = config.shared_samplers()
     if adversary is None and adversary_name is not None:
@@ -123,6 +152,7 @@ def run_aer_experiment(
     quorum_multiplier: float = 2.0,
     delay_policy: Optional[DelayPolicy] = None,
     max_rounds: int = 64,
+    backend: str = "message",
 ) -> SimulationResult:
     """One-call experiment: synthesise a scenario, pick an adversary, run AER.
 
@@ -150,6 +180,17 @@ def run_aer_experiment(
         wrong_candidate_mode=wrong_candidate_mode,
         seed=seed,
     )
+    if backend == "vectorized":
+        return run_aer(
+            scenario,
+            config=config,
+            adversary_name=adversary_name,
+            mode=mode,
+            rushing=rushing,
+            seed=seed,
+            max_rounds=max_rounds,
+            backend=backend,
+        )
     samplers = config.shared_samplers()
     adversary = make_adversary(adversary_name, scenario, config, samplers)
     return run_aer(
@@ -162,4 +203,5 @@ def run_aer_experiment(
         max_rounds=max_rounds,
         delay_policy=delay_policy,
         samplers=samplers,
+        backend=backend,
     )

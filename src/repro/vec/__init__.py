@@ -1,0 +1,40 @@
+"""Vectorized whole-round engine backend (``backend="vectorized"``).
+
+The message-passing kernel in :mod:`repro.net` is the semantic oracle: one
+Python object per node, one dispatch per message.  This package is the other
+end of the trade — a whole synchronous round as a handful of numpy array
+passes, for system sizes (``n >= 10**5``) where per-message Python dispatch
+is three orders of magnitude too slow to fit a growth-fit sweep.
+
+Layout
+------
+``hashing``
+    Batched, bit-identical re-implementation of the samplers' keyed blake2b
+    draw (`repro.net.rng.stable_hash`) as single-block compressions over
+    uint64 lanes.
+``tables``
+    Array-shaped sampler tables: ``(rows, d)`` member matrices for the
+    ``I``/``H`` quorum families and batched ``J`` poll rows, built either
+    from the exact Python samplers (small ``n``) or from the batched hash
+    (large ``n``) — both bit-identical to the message backend's draws.
+``engine``
+    The vectorized AER synchronous round loop.
+``majority``
+    The vectorized ``sample_majority`` baseline.
+
+Verification contract (see ARCHITECTURE.md "engine backends"): exact golden
+equality against the message kernel on the draw-order-compatible small-``n``
+subset, and cross-seed statistical equivalence (CI overlap) at large ``n``.
+"""
+
+from repro.vec.engine import VEC_ADVERSARIES, run_aer_vectorized
+from repro.vec.majority import run_sample_majority_vectorized
+from repro.vec.tables import VecSamplerTables, prewarm_vec_tables
+
+__all__ = [
+    "VEC_ADVERSARIES",
+    "VecSamplerTables",
+    "prewarm_vec_tables",
+    "run_aer_vectorized",
+    "run_sample_majority_vectorized",
+]

@@ -1,0 +1,820 @@
+"""Vectorized whole-round AER engine (``backend="vectorized"``).
+
+The message kernel simulates AER one Python dispatch per message; this
+module simulates the same synchronous execution as a handful of numpy array
+passes per round.  The unit of state is not the node but the **poll row** —
+one launched poll ``(origin, candidate, label)`` with its poll list
+``J(origin, label)`` and pull quorum ``H(candidate, origin)`` as ``(rows,
+d)`` integer matrices.  Everything the pull phase does (serving, the two
+forwarding hops, answering, deciding) is expressible as gathers, masked
+sums and ``bincount`` scatter-adds over those matrices, because of one
+structural fact: all recipients of one poll's Fw1 stream observe the *same*
+set of forwarding senders, so the first-hop vote count is a per-row scalar
+rather than per-(row, member) state.
+
+Equivalence contract (ARCHITECTURE.md "engine backends"):
+
+* on the draw-order-compatible subset — adversaries in
+  :data:`VEC_ADVERSARIES` minus ``cornering*``, synchronous, non-rushing,
+  ``eager_pull``, no trace — results are **bit-identical** to
+  :func:`repro.runner.run_aer` (same ``SimulationResult``, same metrics,
+  same decision rounds), pinned by the golden backend tests;
+* ``cornering``/``cornering_nodelay`` are supported **statistically** only:
+  the message kernel merges second-hop votes for one ``(origin,
+  candidate)`` across poll labels, while rows here are per-label, so
+  per-bit metrics may differ slightly (agreement/decisions still hold);
+* everything else (async mode, rushing, tracing, the remaining adversary
+  strategies) is rejected loudly with ``ValueError``.
+
+The deterministic RNG streams are replayed exactly: each correct node's
+private ``derive_rng(seed, "node", i)`` stream is consumed in the same
+order as in the kernel (one ``randrange`` per launched poll, in delivery
+order of the push crossings), and the adversary's strategy object is driven
+through a capture context so its own RNG usage is identical.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+# Importing the package registers every built-in adversary strategy.
+import repro.adversary  # noqa: F401
+from repro.adversary.base import AdversaryKnowledge
+from repro.adversary.registry import resolve_adversary
+from repro.core.config import AERConfig
+from repro.core.messages import PollMessage, PullMessage, PushMessage
+from repro.core.scenario import AERScenario
+from repro.net.metrics import MetricsSummary
+from repro.net.results import SimulationResult
+from repro.net.rng import derive_rng
+from repro.vec.tables import VecSamplerTables, tables_for
+
+#: adversary strategies the vectorized backend can replay.  ``cornering`` and
+#: ``cornering_nodelay`` are statistical-equivalence only (see module docs);
+#: the rest are exact.
+VEC_ADVERSARIES: Tuple[str, ...] = (
+    "none",
+    "silent",
+    "push_flood",
+    "quorum_flood",
+    "cornering",
+    "cornering_nodelay",
+)
+
+#: row-chunk size for the (rows, d, d) pull-quorum gathers of the forwarding
+#: phases — bounds peak temporary memory to a few tens of MB at d ≈ 30
+_ROW_CHUNK = 8192
+
+
+class _CaptureContext:
+    """Adversary-facing stand-in for :class:`repro.net.kernel.AdversaryContext`.
+
+    The built-in strategies act only at round 0 of a synchronous run (their
+    ``on_start`` / non-rushing ``on_round(0, None)`` hooks) and depend only
+    on their :class:`AdversaryKnowledge` and their RNG.  Driving the *real*
+    strategy object against this context therefore reproduces its message
+    records and RNG consumption exactly; the engine then folds the records
+    into its array state instead of delivering them one by one.
+    """
+
+    def __init__(self, n: int, byzantine_ids: frozenset, seed: int) -> None:
+        self.n = n
+        self.rng = derive_rng(seed, "adversary")
+        self._byzantine_ids = byzantine_ids
+        #: captured ``(byz_id, dest, message)`` sends, in dispatch order
+        self.records: List[tuple] = []
+
+    def now(self) -> float:
+        return 0.0
+
+    def send_as(self, byz_id: int, dest: int, message) -> None:
+        if byz_id not in self._byzantine_ids:
+            raise PermissionError(
+                f"adversary tried to forge sender id {byz_id}, which it does not control"
+            )
+        self.records.append((byz_id, dest, message))
+
+
+def _capture_adversary_records(
+    adversary_name: str,
+    scenario: AERScenario,
+    config: AERConfig,
+    seed: int,
+) -> List[tuple]:
+    """Round-0 message records of the named adversary, in dispatch order."""
+    if adversary_name == "none":
+        return []
+    samplers = config.shared_samplers()
+    knowledge = AdversaryKnowledge(config=config, samplers=samplers, scenario=scenario)
+    adversary = resolve_adversary(adversary_name, scenario.byzantine_ids, knowledge)
+    if adversary is None:
+        return []
+    context = _CaptureContext(scenario.n, frozenset(adversary.byzantine_ids), seed)
+    adversary.bind(context)
+    adversary.on_start()
+    adversary.on_round(0, None)  # non-rushing synchronous turn
+    return context.records
+
+
+def _summary_from_arrays(
+    n: int,
+    sent_msgs: np.ndarray,
+    sent_bits: np.ndarray,
+    recv_bits: np.ndarray,
+    decision_times: Dict[int, float],
+    rounds: int,
+    restrict_to: Optional[List[int]],
+) -> MetricsSummary:
+    """Columnar equivalent of :meth:`repro.net.metrics.MetricsCollector.summary`.
+
+    Totals always cover every sender; per-node statistics cover
+    ``restrict_to`` (or all of ``[0, n)``), exactly like the collector.  All
+    values are converted to Python ints/floats so the summary serialises
+    identically to the message backend's.
+    """
+    total_bits_arr = sent_bits + recv_bits
+    if restrict_to is None:
+        node_ids = list(range(n))
+        decisions = dict(decision_times)
+    else:
+        node_ids = list(restrict_to)
+        keep = set(restrict_to)
+        decisions = {i: t for i, t in decision_times.items() if i in keep}
+    loads = [int(total_bits_arr[i]) for i in node_ids]
+    per_node = dict(zip(node_ids, loads))
+    if not loads:
+        loads = [0]
+    median_load = statistics.median(loads)
+    mean_load = statistics.fmean(loads)
+    max_load = max(loads)
+    return MetricsSummary(
+        n=n,
+        total_messages=int(sent_msgs.sum()),
+        total_bits=int(sent_bits.sum()),
+        amortized_bits=int(sent_bits.sum()) / max(1, n),
+        max_node_bits=max_load,
+        median_node_bits=median_load,
+        mean_node_bits=mean_load,
+        load_imbalance=max_load / max(1.0, median_load),
+        rounds=rounds,
+        span=None,
+        decision_times=decisions,
+        per_node_bits=per_node,
+    )
+
+
+class _VecRun:
+    """Array state of one vectorized synchronous AER execution."""
+
+    def __init__(
+        self,
+        scenario: AERScenario,
+        config: AERConfig,
+        adversary_name: str,
+        seed: int,
+        max_rounds: int,
+        tables: VecSamplerTables,
+    ) -> None:
+        self.scenario = scenario
+        self.config = config
+        self.adversary_name = adversary_name
+        self.seed = seed
+        self.max_rounds = max_rounds
+        self.tables = tables
+
+        n = scenario.n
+        self.n = n
+        self.size = min(config.quorum_size, n)
+        self.thr = self.size // 2 + 1
+        size_model = config.size_model()
+        self._id_bits = size_model.id_bits
+        self._label_bits = size_model.label_bits
+        self._kind_bits = size_model.kind_bits
+
+        # ---- population -------------------------------------------------
+        self.is_correct = np.zeros(n, dtype=bool)
+        self.is_correct[scenario.correct_ids] = True
+        self.correct = np.asarray(scenario.correct_ids, dtype=np.int64)
+
+        # ---- candidate strings as small integers ("sids") ---------------
+        self.sid_of: Dict[str, int] = {}
+        self.strings: List[str] = []
+        self.initial_sid = np.full(n, -1, dtype=np.int32)
+        for node_id in scenario.correct_ids:
+            candidate = scenario.candidates[node_id]
+            sid = self.sid_of.get(candidate)
+            if sid is None:
+                sid = self.sid_of[candidate] = len(self.strings)
+                self.strings.append(candidate)
+            self.initial_sid[node_id] = sid
+        #: per-sid boolean holder masks (correct initial holders)
+        self.holders = [self.initial_sid == sid for sid in range(len(self.strings))]
+
+        # ---- per-node protocol state ------------------------------------
+        self.D = np.full(n, -1, dtype=np.int32)          # decision round
+        self.dec_sid = np.full(n, -1, dtype=np.int32)    # decided sid
+        self.answers_sent = np.zeros(n, dtype=np.int64)  # pre-decision answers
+
+        # ---- metrics ----------------------------------------------------
+        self.sent_msgs = np.zeros(n, dtype=np.int64)
+        self.sent_bits = np.zeros(n, dtype=np.int64)
+        self.recv_msgs = np.zeros(n, dtype=np.int64)
+        self.recv_bits = np.zeros(n, dtype=np.int64)
+        # deliveries staged for the *next* round (discarded if the run ends
+        # first, exactly as the kernel never counts undelivered outbox sends)
+        self.stage_recv_msgs = np.zeros(n, dtype=np.int64)
+        self.stage_recv_bits = np.zeros(n, dtype=np.int64)
+        self._dispatched = False  # any send accepted in the current round
+
+        # ---- poll rows (python lists until round-1 finalization) --------
+        self._b_origin: List[int] = []
+        self._b_sid: List[int] = []
+        self._b_start: List[int] = []
+        self._b_jmem: List[np.ndarray] = []
+        self._b_hmem: List[np.ndarray] = []
+        self._b_polled: List[np.ndarray] = []
+        self._corner_keys: Dict[tuple, int] = {}  # (origin, label, sid) -> row
+
+        # staged per-row arrival effects, applied at the start of the next
+        # round (phase A); all built after the round-1 finalization
+        self.rows = 0
+        self._stage_sv: List[tuple] = []    # (row_indices, counts)
+        self._stage_fw2: List[tuple] = []   # (row_indices, col_indices, counts)
+        self._stage_ans: List[tuple] = []   # (row_indices, counts)
+
+        #: per-node private RNG streams (consumed one randrange per poll)
+        self._rngs = {int(x): derive_rng(seed, "node", int(x)) for x in self.correct}
+        #: per-sid push votes at every node, kept from round 0 for round 1
+        self._push_votes: List[np.ndarray] = []
+        #: adversary push records grouped as {(dest, candidate): [(idx, byz)]}
+        self._adv_pushes: Dict[tuple, List[tuple]] = {}
+
+    # ------------------------------------------------------------------
+    # bit costs (mirror repro.core.messages exactly)
+    # ------------------------------------------------------------------
+    def _push_bits(self, s: str) -> int:
+        return self._kind_bits + len(s)
+
+    def _poll_bits(self, s: str) -> int:
+        return self._kind_bits + len(s) + self._label_bits
+
+    _pull_bits = _poll_bits
+
+    def _fw1_bits(self, s: str) -> int:
+        return self._kind_bits + 2 * self._id_bits + len(s) + self._label_bits
+
+    def _fw2_bits(self, s: str) -> int:
+        return self._kind_bits + self._id_bits + len(s) + self._label_bits
+
+    def _answer_bits(self, s: str) -> int:
+        return self._kind_bits + len(s)
+
+    # ------------------------------------------------------------------
+    # round 0: on_start of every correct node + the adversary's turn
+    # ------------------------------------------------------------------
+    def _make_row(
+        self,
+        origin: int,
+        sid: int,
+        start: int,
+        jmem: np.ndarray,
+        hmem: np.ndarray,
+        polled: np.ndarray,
+    ) -> int:
+        row = len(self._b_origin)
+        self._b_origin.append(origin)
+        self._b_sid.append(sid)
+        self._b_start.append(start)
+        self._b_jmem.append(jmem)
+        self._b_hmem.append(hmem)
+        self._b_polled.append(polled)
+        return row
+
+    def _stage_poll_pull_recv(self, jmem: np.ndarray, hmem: np.ndarray, s: str) -> None:
+        """Stage next-round deliveries of one poll's Poll and Pull multicasts."""
+        np.add.at(self.stage_recv_msgs, jmem, 1)
+        np.add.at(self.stage_recv_bits, jmem, self._poll_bits(s))
+        np.add.at(self.stage_recv_msgs, hmem, 1)
+        np.add.at(self.stage_recv_bits, hmem, self._pull_bits(s))
+
+    def _launch_polls(self, xs: np.ndarray, sids: np.ndarray, labels: np.ndarray, start: int) -> None:
+        """Create live rows for polls launched by ``xs`` and account their sends."""
+        if len(xs) == 0:
+            return
+        jmem_all = self.tables.poll_rows(xs, labels)
+        all_polled = np.ones(self.size, dtype=bool)
+        for sid in np.unique(sids):
+            s = self.strings[sid]
+            sel = np.nonzero(sids == sid)[0]
+            hmem_all = self.tables.rows("H", s, xs[sel])
+            for i, row_i in enumerate(sel):
+                self._make_row(
+                    int(xs[row_i]), int(sid), start,
+                    jmem_all[row_i].astype(np.int64),
+                    hmem_all[i].astype(np.int64),
+                    all_polled.copy(),
+                )
+            self.sent_msgs[xs[sel]] += 2 * self.size
+            self.sent_bits[xs[sel]] += self.size * (self._poll_bits(s) + self._pull_bits(s))
+            np.add.at(self.stage_recv_msgs, jmem_all[sel], 1)
+            np.add.at(self.stage_recv_bits, jmem_all[sel], self._poll_bits(s))
+            np.add.at(self.stage_recv_msgs, hmem_all, 1)
+            np.add.at(self.stage_recv_bits, hmem_all, self._pull_bits(s))
+        self._dispatched = True
+
+    def _round0(self) -> None:
+        n = self.n
+        # Push diffusion: every correct holder of s pushes to I⁻¹(s, ·); the
+        # votes gathered at each node double as the staged push deliveries.
+        for sid, s in enumerate(self.strings):
+            full = self.tables.full("I", s)
+            holders = self.holders[sid]
+            push_bits = self._push_bits(s)
+            targets_per_sender = np.bincount(full.ravel(), minlength=n)
+            self.sent_msgs[holders] += targets_per_sender[holders]
+            self.sent_bits[holders] += targets_per_sender[holders] * push_bits
+            votes = holders[full].sum(axis=1).astype(np.int64)
+            self.stage_recv_msgs += votes
+            self.stage_recv_bits += votes * push_bits
+            self._push_votes.append(votes)
+
+        # Eager pull: every correct node polls its own candidate.  The label
+        # is the node's first private RNG draw, exactly as in the kernel.
+        labels = np.asarray(
+            [self._rngs[int(x)].randrange(self.config.label_space) for x in self.correct],
+            dtype=np.int64,
+        )
+        self._launch_polls(self.correct, self.initial_sid[self.correct], labels, start=0)
+
+        self._adversary_round0()
+
+    def _adversary_round0(self) -> None:
+        records = _capture_adversary_records(
+            self.adversary_name, self.scenario, self.config, self.seed
+        )
+        if not records:
+            return
+        # cornering bookkeeping: Poll records mark polled victims, Pull
+        # records trigger (deduplicated) proxy serves
+        poll_marks: Dict[tuple, List[int]] = {}
+        pull_keys: List[tuple] = []
+        for idx, (byz_id, dest, message) in enumerate(records):
+            if isinstance(message, PushMessage):
+                bits = self._push_bits(message.candidate)
+                key = (dest, message.candidate)
+                self._adv_pushes.setdefault(key, []).append((idx, byz_id))
+            elif isinstance(message, PollMessage):
+                bits = self._poll_bits(message.candidate)
+                poll_marks.setdefault((byz_id, message.label, message.candidate), []).append(dest)
+            elif isinstance(message, PullMessage):
+                bits = self._pull_bits(message.candidate)
+                key = (byz_id, message.label, message.candidate)
+                if key not in pull_keys:
+                    pull_keys.append(key)
+            else:  # pragma: no cover - no built-in strategy sends other kinds
+                raise NotImplementedError(
+                    f"vectorized backend cannot replay {type(message).__name__}"
+                )
+            self.sent_msgs[byz_id] += 1
+            self.sent_bits[byz_id] += bits
+            self.stage_recv_msgs[dest] += 1
+            self.stage_recv_bits[dest] += bits
+        self._dispatched = True
+
+        # One row per distinct (origin, label, candidate) pull request: the
+        # proxies in H(candidate, origin) serve each such key exactly once.
+        for byz_id, label, candidate in pull_keys:
+            sid = self.sid_of.get(candidate)
+            if sid is None:
+                continue  # no correct node believes it: the request is inert
+            jmem = self.tables.poll_rows([byz_id], [label])[0].astype(np.int64)
+            hmem = self.tables.rows("H", candidate, [byz_id])[0].astype(np.int64)
+            polled = np.zeros(self.size, dtype=bool)
+            for victim in poll_marks.get((byz_id, label, candidate), ()):
+                polled |= jmem == victim
+            self._make_row(int(byz_id), int(sid), 0, jmem, hmem, polled)
+
+    # ------------------------------------------------------------------
+    # round 1: push deliveries, acceptances, new polls
+    # ------------------------------------------------------------------
+    def _round1_acceptances(self) -> None:
+        """Replay round 1's push crossings in the kernel's delivery order.
+
+        At each node the pushes arrive sender-ascending (the round-0 dispatch
+        order), so an acceptance of string ``s`` happens at the arrival of
+        the ``thr``-th correct holder in ``I(s, x)`` — and the node's label
+        draws for its newly started polls follow that per-node order, with
+        adversary-forced acceptances (whose records were dispatched after
+        every correct multicast) strictly last, in record order.
+        """
+        events: List[tuple] = []  # (node, phase, order key, sid-or-candidate)
+        for sid, s in enumerate(self.strings):
+            votes = self._push_votes[sid]
+            acc = (votes >= self.thr) & self.is_correct & (self.initial_sid != sid)
+            xs = np.nonzero(acc)[0]
+            if len(xs) == 0:
+                continue
+            full = self.tables.full("I", s)
+            arrival = self.holders[sid][full[xs]]  # (k, d): senders ascending
+            cum = np.cumsum(arrival, axis=1)
+            pos = np.argmax(cum == self.thr, axis=1)
+            crossing_sender = full[xs, pos]
+            for x, y in zip(xs.tolist(), crossing_sender.tolist()):
+                events.append((x, 0, int(y), sid))
+
+        if self._adv_pushes:
+            push_sampler = self.config.shared_samplers().push
+            for (dest, candidate), recs in self._adv_pushes.items():
+                if candidate in self.sid_of:
+                    raise NotImplementedError(
+                        "vectorized backend: adversary pushed a string also held "
+                        "by correct nodes; use backend='message' for this case"
+                    )
+                if not self.is_correct[dest]:
+                    continue
+                seen = set()
+                crossing_idx = None
+                for idx, byz_id in recs:
+                    if byz_id in seen:
+                        continue
+                    if push_sampler.contains(candidate, dest, byz_id):
+                        seen.add(byz_id)
+                        if len(seen) == self.thr:
+                            crossing_idx = idx
+                            break
+                if crossing_idx is not None:
+                    events.append((int(dest), 1, crossing_idx, candidate))
+
+        events.sort(key=lambda event: (event[0], event[1], event[2]))
+        live_xs: List[int] = []
+        live_sids: List[int] = []
+        live_labels: List[int] = []
+        for x, phase, _key, payload in events:
+            label = self._rngs[x].randrange(self.config.label_space)
+            if phase == 0:
+                live_xs.append(x)
+                live_sids.append(payload)
+                live_labels.append(label)
+            else:
+                self._dead_poll(x, payload, label)
+        self._launch_polls(
+            np.asarray(live_xs, dtype=np.int64),
+            np.asarray(live_sids, dtype=np.int64),
+            np.asarray(live_labels, dtype=np.int64),
+            start=1,
+        )
+
+    def _dead_poll(self, x: int, candidate: str, label: int) -> None:
+        """A poll for an adversary-forced string no correct node will ever believe.
+
+        The poll's own sends and next-round deliveries are accounted, but no
+        row is created: without believers in ``H(candidate, ·)`` the request
+        is never served, so it generates no further traffic — the kernel
+        leaves exactly the same inert pending state behind.
+        """
+        suite = self.config.shared_samplers()
+        jmem = np.asarray(suite.poll.poll_list(x, label), dtype=np.int64)
+        hmem = np.asarray(suite.pull.quorum(candidate, x), dtype=np.int64)
+        self.sent_msgs[x] += 2 * self.size
+        self.sent_bits[x] += self.size * (self._poll_bits(candidate) + self._pull_bits(candidate))
+        self._stage_poll_pull_recv(jmem, hmem, candidate)
+        self._dispatched = True
+
+    def _finalize_rows(self) -> None:
+        """Freeze the poll-row SoA; no further rows appear after round 1."""
+        rows = len(self._b_origin)
+        self.rows = rows
+        d = self.size
+        self.r_origin = np.asarray(self._b_origin, dtype=np.int64)
+        self.r_sid = np.asarray(self._b_sid, dtype=np.int32)
+        self.r_start = np.asarray(self._b_start, dtype=np.int32)
+        if rows:
+            self.r_jmem = np.vstack(self._b_jmem)
+            self.r_hmem = np.vstack(self._b_hmem)
+            self.r_polled = np.vstack(self._b_polled)
+        else:  # pragma: no cover - every run has at least the initial polls
+            self.r_jmem = np.zeros((0, d), dtype=np.int64)
+            self.r_hmem = np.zeros((0, d), dtype=np.int64)
+            self.r_polled = np.zeros((0, d), dtype=bool)
+        self.r_sv = np.zeros(rows, dtype=np.int64)
+        self.r_crossed = np.full(rows, -1, dtype=np.int32)
+        self.r_fw2 = np.zeros((rows, d), dtype=np.int64)
+        self.r_answered = np.zeros((rows, d), dtype=bool)
+        self.r_ans = np.zeros(rows, dtype=np.int64)
+        self._b_origin = self._b_sid = self._b_start = None  # type: ignore[assignment]
+        self._b_jmem = self._b_hmem = self._b_polled = None  # type: ignore[assignment]
+        #: answer bit cost per sid, for the mixed-sid answer phase
+        self._ans_bits_by_sid = np.asarray(
+            [self._answer_bits(s) for s in self.strings], dtype=np.int64
+        )
+
+    # ------------------------------------------------------------------
+    # shared predicates
+    # ------------------------------------------------------------------
+    def _bel(self, sid: int) -> np.ndarray:
+        """Who currently believes string ``sid`` (undecided holders + deciders)."""
+        return ((self.initial_sid == sid) & (self.D == -1)) | (self.dec_sid == sid)
+
+    def _all_decided(self) -> bool:
+        return bool((self.D[self.correct] != -1).all())
+
+    # ------------------------------------------------------------------
+    # the round loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        self._round0()
+        rnd = 0
+        decided_round: Optional[int] = None
+        while not self._all_decided() and rnd < self.max_rounds:
+            if not self._dispatched and rnd > 0:
+                break  # quiescent, exactly like the kernel's empty-outbox exit
+            rnd += 1
+            self._advance(rnd)
+            if decided_round is None and self._all_decided():
+                decided_round = rnd
+        rounds = decided_round if decided_round is not None else rnd
+        return self._result(rounds)
+
+    def _advance(self, rnd: int) -> None:
+        self._dispatched = False
+        # -- phase A: deliver everything staged during the previous round --
+        self.recv_msgs += self.stage_recv_msgs
+        self.recv_bits += self.stage_recv_bits
+        self.stage_recv_msgs.fill(0)
+        self.stage_recv_bits.fill(0)
+        if rnd == 1:
+            self._round1_acceptances()
+            self._finalize_rows()
+        for rows_idx, counts in self._stage_sv:
+            self.r_sv[rows_idx] += counts
+        self._stage_sv = []
+        for rows_idx, occ in self._stage_fw2:
+            self.r_fw2[rows_idx] += occ
+        self._stage_fw2 = []
+        for rows_idx in self._stage_ans:
+            np.add.at(self.r_ans, rows_idx, 1)
+        self._stage_ans = []
+        newly_crossed = (self.r_crossed == -1) & (self.r_sv >= self.thr)
+        self.r_crossed[newly_crossed] = rnd
+
+        new_deciders = self._phase_decide(rnd)
+        self._phase_serves(rnd, new_deciders)
+        self._phase_fw2(rnd, new_deciders)
+        self._phase_answers(rnd)
+
+    def _phase_decide(self, rnd: int) -> np.ndarray:
+        """Answer majorities reached this round become decisions (first poll wins)."""
+        new_deciders = np.zeros(self.n, dtype=bool)
+        eligible = self.r_ans >= self.thr
+        if not eligible.any():
+            return new_deciders
+        origins = self.r_origin
+        rows = np.nonzero(
+            eligible & self.is_correct[origins] & (self.D[origins] == -1)
+        )[0]
+        if len(rows) == 0:
+            return new_deciders
+        deciders, first = np.unique(origins[rows], return_index=True)
+        picked = rows[first]
+        self.D[deciders] = rnd
+        self.dec_sid[deciders] = self.r_sid[picked]
+        new_deciders[deciders] = True
+        return new_deciders
+
+    def _phase_serves(self, rnd: int, new_deciders: np.ndarray) -> None:
+        """Pull serving: believers at arrival, plus deciders flushing pending pulls.
+
+        A proxy in ``H(s, origin)`` serves a pull request the round it
+        arrives if it believes ``s`` by the end of that round (same-round
+        deciders flush their pending list within the round in the kernel),
+        and otherwise the round it later decides ``s``.  Each server of a
+        row dispatches the full first-hop fan-out: d Fw1 multicasts of d
+        copies each.
+        """
+        arrivals = self.r_start == rnd - 1
+        flush = self.r_start <= rnd - 2
+        for sid in np.unique(self.r_sid):
+            bel = self._bel(sid)
+            late = new_deciders & (self.dec_sid == sid) & (self.initial_sid != sid)
+            for window, servers_mask in ((arrivals, bel), (flush, late)):
+                if not servers_mask.any():
+                    continue
+                rsel = np.nonzero(window & (self.r_sid == sid))[0]
+                if len(rsel) == 0:
+                    continue
+                member_mask = servers_mask[self.r_hmem[rsel]]  # (k, d)
+                counts = member_mask.sum(axis=1).astype(np.int64)
+                active = counts > 0
+                if not active.any():
+                    continue
+                self._emit_serves(int(sid), rsel[active], counts[active],
+                                  self.r_hmem[rsel][active], member_mask[active])
+
+    def _emit_serves(
+        self,
+        sid: int,
+        rows_idx: np.ndarray,
+        counts: np.ndarray,
+        hmem: np.ndarray,
+        member_mask: np.ndarray,
+    ) -> None:
+        """Account one batch of pull serves and stage their Fw1 deliveries."""
+        s = self.strings[sid]
+        d = self.size
+        fw1_bits = self._fw1_bits(s)
+        fanout = d * d
+        servers = hmem[member_mask]  # flat array of serving node ids
+        per_server = np.bincount(servers, minlength=self.n)
+        self.sent_msgs += per_server * fanout
+        self.sent_bits += per_server * (fanout * fw1_bits)
+        self._dispatched = True
+        self._stage_sv.append((rows_idx, counts))
+        # Fw1 deliveries: every member of H(s, t), for every target t of the
+        # row, receives one copy per server of that row.
+        for lo in range(0, len(rows_idx), _ROW_CHUNK):
+            chunk = slice(lo, lo + _ROW_CHUNK)
+            targets = self.r_jmem[rows_idx[chunk]]  # (k, d)
+            h_rows = self.tables.rows("H", s, targets.ravel())  # (k*d, d)
+            weights = np.repeat(counts[chunk], fanout)
+            flat = h_rows.ravel()
+            delivered = np.bincount(flat, weights=weights, minlength=self.n).astype(np.int64)
+            self.stage_recv_msgs += delivered
+            self.stage_recv_bits += delivered * fw1_bits
+
+    def _phase_fw2(self, rnd: int, new_deciders: np.ndarray) -> None:
+        """Second-hop forwards: crossing rows fan Fw2 votes out to poll targets.
+
+        For each row whose secondary-vote count reached the threshold this
+        round (``crossed == rnd``), every believing member of ``H(s, t)``
+        sends one Fw2 to each target ``t`` of the row; rows that crossed
+        earlier pick up late votes only from nodes that decided ``s`` this
+        round without initially believing it (the kernel's ``on_decided``
+        flush of fw1 state).
+        """
+        for sid in np.unique(self.r_sid):
+            bel = self._bel(sid)
+            late = new_deciders & (self.dec_sid == sid) & (self.initial_sid != sid)
+            batches = (
+                ((self.r_crossed == rnd), bel),
+                ((self.r_crossed != -1) & (self.r_crossed < rnd), late),
+            )
+            for window, senders_mask in batches:
+                if not senders_mask.any():
+                    continue
+                rsel = np.nonzero(window & (self.r_sid == sid))[0]
+                if len(rsel) == 0:
+                    continue
+                self._emit_fw2(int(sid), rsel, senders_mask)
+
+    def _emit_fw2(self, sid: int, rows_idx: np.ndarray, senders_mask: np.ndarray) -> None:
+        s = self.strings[sid]
+        d = self.size
+        fw2_bits = self._fw2_bits(s)
+        any_sent = False
+        for lo in range(0, len(rows_idx), _ROW_CHUNK):
+            chunk_rows = rows_idx[lo : lo + _ROW_CHUNK]
+            targets = self.r_jmem[chunk_rows]  # (k, d)
+            h_rows = self.tables.rows("H", s, targets.ravel())  # (k*d, d)
+            member_mask = senders_mask[h_rows]
+            occ = member_mask.sum(axis=1).astype(np.int64).reshape(len(chunk_rows), d)
+            if not occ.any():
+                continue
+            any_sent = True
+            per_sender = np.bincount(h_rows[member_mask], minlength=self.n)
+            self.sent_msgs += per_sender
+            self.sent_bits += per_sender * fw2_bits
+            np.add.at(self.stage_recv_msgs, targets, occ)
+            np.add.at(self.stage_recv_bits, targets, occ * fw2_bits)
+            self._stage_fw2.append((chunk_rows, occ))
+        if any_sent:
+            self._dispatched = True
+
+    def _phase_answers(self, rnd: int) -> None:
+        """Polled nodes whose Fw2 tally crossed the threshold answer their poll.
+
+        An answer for row ``(origin, s, label)`` fires at target ``t`` once
+        ``t`` is polled, believes ``s``, has enough Fw2 votes, and has not
+        answered that poll yet — subject to the per-node answer budget while
+        undecided.  Budget contention is resolved in the kernel's delivery
+        order: polls are served per origin in row-creation order.
+        """
+        grows_parts = []
+        gcols_parts = []
+        for sid in np.unique(self.r_sid):
+            bel = self._bel(sid)
+            rsel = np.nonzero((self.r_sid == sid) & (self.r_start <= rnd - 1))[0]
+            if len(rsel) == 0:
+                continue
+            cond = (
+                (self.r_fw2[rsel] >= self.thr)
+                & self.r_polled[rsel]
+                & ~self.r_answered[rsel]
+                & bel[self.r_jmem[rsel]]
+            )
+            rr, cc = np.nonzero(cond)
+            if len(rr):
+                grows_parts.append(rsel[rr])
+                gcols_parts.append(cc)
+        if not grows_parts:
+            return
+        grows = np.concatenate(grows_parts)
+        gcols = np.concatenate(gcols_parts)
+        order = np.lexsort((grows, self.r_origin[grows]))
+        grows = grows[order]
+        gcols = gcols[order]
+        answerers = self.r_jmem[grows, gcols]
+        undecided = self.D[answerers] == -1
+        budget = self.config.answer_budget
+        counts = np.bincount(answerers[undecided], minlength=self.n)
+        if not (self.answers_sent + counts > budget).any():
+            keep = np.ones(len(grows), dtype=bool)
+            self.answers_sent += counts
+        else:
+            # slow path: walk candidate answers in delivery order, spending
+            # the budget answer by answer (exhausted answers are deferred
+            # until the node decides, exactly like the kernel)
+            keep = np.zeros(len(grows), dtype=bool)
+            for i in range(len(grows)):
+                t = int(answerers[i])
+                if not undecided[i]:
+                    keep[i] = True
+                elif self.answers_sent[t] < budget:
+                    keep[i] = True
+                    self.answers_sent[t] += 1
+        if not keep.any():
+            return
+        grows = grows[keep]
+        gcols = gcols[keep]
+        answerers = answerers[keep]
+        self.r_answered[grows, gcols] = True
+        ans_bits = self._ans_bits_by_sid[self.r_sid[grows]]
+        np.add.at(self.sent_msgs, answerers, 1)
+        np.add.at(self.sent_bits, answerers, ans_bits)
+        origins = self.r_origin[grows]
+        np.add.at(self.stage_recv_msgs, origins, 1)
+        np.add.at(self.stage_recv_bits, origins, ans_bits)
+        self._stage_ans.append(grows)
+        self._dispatched = True
+
+    # ------------------------------------------------------------------
+    # result assembly
+    # ------------------------------------------------------------------
+    def _result(self, rounds: int) -> SimulationResult:
+        decided = np.nonzero(self.D != -1)[0]
+        decisions = {
+            int(x): self.strings[int(self.dec_sid[x])] for x in decided
+        }
+        decision_times = {int(x): float(self.D[x]) for x in decided}
+        correct_ids = list(self.scenario.correct_ids)
+        # With adversary "none" the kernel is built with no byzantine ids at
+        # all, so the result reports an empty list rather than the scenario's.
+        byz_ids = [] if self.adversary_name == "none" else sorted(self.scenario.byzantine_ids)
+        metrics = _summary_from_arrays(
+            self.n, self.sent_msgs, self.sent_bits, self.recv_bits,
+            decision_times, rounds, restrict_to=correct_ids,
+        )
+        metrics_all = _summary_from_arrays(
+            self.n, self.sent_msgs, self.sent_bits, self.recv_bits,
+            decision_times, rounds, restrict_to=None,
+        )
+        return SimulationResult(
+            n=self.n,
+            correct_ids=correct_ids,
+            byzantine_ids=byz_ids,
+            decisions=decisions,
+            rounds=rounds,
+            span=None,
+            metrics=metrics,
+            metrics_all=metrics_all,
+        )
+
+
+def run_aer_vectorized(
+    scenario: AERScenario,
+    config: Optional[AERConfig] = None,
+    adversary_name: str = "none",
+    seed: int = 0,
+    max_rounds: int = 64,
+    tables: Optional[VecSamplerTables] = None,
+    use_numpy: Optional[bool] = None,
+) -> SimulationResult:
+    """Run one synchronous AER execution on the vectorized backend.
+
+    Mirrors the message kernel's ``run_aer_experiment`` execution semantics
+    (synchronous, non-rushing, eager pull, no trace) for the adversaries in
+    :data:`VEC_ADVERSARIES`; any other combination raises ``ValueError``.
+    """
+    if adversary_name not in VEC_ADVERSARIES:
+        raise ValueError(
+            f"vectorized backend does not support adversary {adversary_name!r}; "
+            f"supported: {', '.join(VEC_ADVERSARIES)}"
+        )
+    if config is None:
+        config = AERConfig.for_system(scenario.n)
+    if tables is None:
+        tables = tables_for(config, use_numpy)
+    run = _VecRun(scenario, config, adversary_name, seed, max_rounds, tables)
+    return run.run()

@@ -1,0 +1,176 @@
+"""Array-shaped sampler tables for the vectorized backend.
+
+The message kernel asks the samplers scalar questions (``is y in I(s, x)?``)
+millions of times; the vectorized engine instead wants whole tables as
+``(rows, d)`` integer matrices it can gather from.  :class:`VecSamplerTables`
+provides them, bit-identical to the Python samplers, through two paths:
+
+* **sampler path** (small ``n``): rows are copied straight out of the shared
+  :class:`~repro.core.config.SamplerSuite`, so identity with the message
+  backend is true by construction (and the suite's LRU tables stay warm for
+  any message-backend run of the same config);
+* **hash path** (large ``n``): rows come from
+  :mod:`repro.vec.hashing`'s batched blake2b, which
+  ``tests/test_vec_hashing.py`` pins bit-identical to the samplers' draws.
+
+Providers are cached per process (keyed by the sampler parameters) so bench
+repetitions and sweep workers reuse the expensive full tables, mirroring
+``AERConfig.shared_samplers``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import AERConfig
+from repro.samplers.tables import LRUCache
+from repro.vec.hashing import batch_digest_mod, encode_parts, first_distinct_rows
+
+#: below this system size the exact Python samplers are cheaper than spinning
+#: up the batched-hash machinery (both paths produce identical rows)
+NUMPY_MIN_N = 1024
+
+#: process-local provider cache (tables are tens of MB at large ``n``)
+_PROVIDER_CACHE: LRUCache = LRUCache(4)
+
+
+class _FamilyTable:
+    """Lazily row-materialised member matrix for one ``(family, string)``."""
+
+    __slots__ = ("members", "built")
+
+    def __init__(self, n: int, size: int) -> None:
+        self.members = np.zeros((n, size), dtype=np.int32)
+        self.built = np.zeros(n, dtype=bool)
+
+
+class VecSamplerTables:
+    """Quorum/poll membership as integer matrices, shared across runs.
+
+    ``family`` is ``"I"`` (push quorums) or ``"H"`` (pull quorums); poll
+    rows (``J``) are keyed by ``(node, label)`` pairs.  All rows are sorted
+    tuples of distinct members — the samplers' canonical representation.
+    """
+
+    def __init__(self, config: AERConfig, use_numpy: Optional[bool] = None) -> None:
+        self.config = config
+        self.n = config.n
+        self.size = min(config.quorum_size, config.n)
+        self.use_numpy = config.n >= NUMPY_MIN_N if use_numpy is None else use_numpy
+        self._suite = config.shared_samplers()
+        self._tables: Dict[Tuple[str, str], _FamilyTable] = {}
+        self._poll_rows: Dict[Tuple[int, int], np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # quorum families I and H
+    # ------------------------------------------------------------------
+    def _sampler(self, family: str):
+        return self._suite.push if family == "I" else self._suite.pull
+
+    def _table(self, family: str, s: str) -> _FamilyTable:
+        key = (family, s)
+        table = self._tables.get(key)
+        if table is None:
+            table = _FamilyTable(self.n, self.size)
+            self._tables[key] = table
+        return table
+
+    def ensure_rows(self, family: str, s: str, xs: np.ndarray) -> None:
+        """Materialise the quorum rows for the nodes in ``xs`` (idempotent)."""
+        table = self._table(family, s)
+        missing = np.asarray(xs, dtype=np.int64)
+        missing = np.unique(missing[~table.built[missing]])
+        if len(missing) == 0:
+            return
+        if self.use_numpy:
+            prefix = encode_parts(self.config.sampler_seed, family, s)
+            rows = first_distinct_rows(prefix, [missing], self.size, self.n)
+            table.members[missing] = rows
+        else:
+            quorum = self._sampler(family).table(s).quorum
+            for x in missing:
+                table.members[x] = quorum(int(x))
+        table.built[missing] = True
+
+    def rows(self, family: str, s: str, xs: np.ndarray) -> np.ndarray:
+        """Member rows for the nodes in ``xs`` as an ``(len(xs), d)`` matrix."""
+        self.ensure_rows(family, s, xs)
+        return self._table(family, s).members[np.asarray(xs, dtype=np.int64)]
+
+    def full(self, family: str, s: str) -> np.ndarray:
+        """The complete ``(n, d)`` member matrix for one string."""
+        table = self._table(family, s)
+        if not table.built.all():
+            self.ensure_rows(family, s, np.arange(self.n))
+        return table.members
+
+    # ------------------------------------------------------------------
+    # poll family J
+    # ------------------------------------------------------------------
+    def poll_rows(self, xs: Sequence[int], labels: Sequence[int]) -> np.ndarray:
+        """Poll-list rows ``J(x, r)`` for the given pairs, cached per pair."""
+        xs = np.asarray(xs, dtype=np.int64)
+        labels = np.asarray(labels, dtype=np.int64)
+        out = np.empty((len(xs), self.size), dtype=np.int32)
+        cache = self._poll_rows
+        missing = []
+        for i, (x, r) in enumerate(zip(xs.tolist(), labels.tolist())):
+            row = cache.get((x, r))
+            if row is None:
+                missing.append(i)
+            else:
+                out[i] = row
+        if missing:
+            idx = np.asarray(missing, dtype=np.int64)
+            if self.use_numpy:
+                prefix = encode_parts(self.config.sampler_seed, self._suite.poll.name)
+                rows = first_distinct_rows(prefix, [xs[idx], labels[idx]], self.size, self.n)
+                out[idx] = rows
+            else:
+                poll_list = self._suite.poll.poll_list
+                for i in missing:
+                    out[i] = poll_list(int(xs[i]), int(labels[i]))
+            for i in missing:
+                cache[(int(xs[i]), int(labels[i]))] = out[i].copy()
+        return out
+
+    # ------------------------------------------------------------------
+    # batched raw draws (exposed for tests and future samplers)
+    # ------------------------------------------------------------------
+    def raw_draws(self, family: str, s: str, xs: np.ndarray, counters: np.ndarray) -> np.ndarray:
+        """``stable_hash(seed, family, s, x, counter) % n`` for each pair."""
+        prefix = encode_parts(self.config.sampler_seed, family, s)
+        return batch_digest_mod(prefix, [xs, counters], self.n)
+
+
+def tables_for(config: AERConfig, use_numpy: Optional[bool] = None) -> VecSamplerTables:
+    """The process-local cached table provider for ``config``.
+
+    Mirrors :meth:`AERConfig.shared_samplers`: tables are pure functions of
+    the sampler parameters, so reuse across runs is behaviour-neutral and
+    buys warmth for benchmark repetitions and sweep workers.
+    """
+    key = (
+        config.n,
+        config.quorum_size,
+        config.label_space,
+        config.sampler_seed,
+        use_numpy,
+    )
+    cached = _PROVIDER_CACHE.get(key)
+    if cached is None:
+        cached = VecSamplerTables(config, use_numpy=use_numpy)
+        _PROVIDER_CACHE.put(key, cached)
+    return cached
+
+
+def prewarm_vec_tables(config: AERConfig) -> VecSamplerTables:
+    """Instantiate (and cache) the vectorized table provider for ``config``.
+
+    Sweep workers call this from their initializer, next to the existing
+    :func:`repro.core.config.prewarm_samplers`, so that per-spec runs in the
+    pool start from a warm provider.
+    """
+    return tables_for(config)

@@ -79,8 +79,8 @@ def test_mean_ci_rejects_empty():
 def test_builtin_sections_registered_in_document_order():
     names = list_report_sections()
     assert names == [
-        "figure1a", "figure1b", "lemma3", "lemma4", "lemma5", "lemma6",
-        "lemma7", "lemma8", "lemma10", "property2", "adversary_matrix",
+        "figure1a", "figure1a_scale", "figure1b", "lemma3", "lemma4", "lemma5",
+        "lemma6", "lemma7", "lemma8", "lemma10", "property2", "adversary_matrix",
         "ablation_filters", "ablation_quorum", "ablation_scheduler",
     ]
 
