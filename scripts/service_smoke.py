@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the experiment service over real HTTP.
+
+Starts ``python -m repro serve`` as a subprocess against a fresh store,
+submits a 4-spec quick plan, polls the job to completion, streams its
+records, then re-submits the identical plan and asserts every record is
+served from the store (zero protocol re-executions).  Uses only the
+stdlib (urllib) so the smoke needs nothing beyond the ``[service]`` extra
+the server itself requires.
+
+Exit code 0 on success; any assertion or timeout exits non-zero.  This is
+the CI ``service-smoke`` job; it also runs fine locally::
+
+    python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+PLAN = {
+    "ns": [24],
+    "seeds": [0, 1],
+    "adversaries": ["none", "silent"],
+    "modes": ["async"],
+    "label": "service-smoke",
+}  # 1 n x 2 seeds x 2 adversaries x 1 mode = 4 specs
+
+
+def request(base: str, path: str, payload: dict | None = None) -> tuple[int, dict]:
+    data = json.dumps(payload).encode() if payload is not None else None
+    req = urllib.request.Request(
+        base + path, data=data,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read() or b"{}")
+
+
+def wait_for(predicate, timeout: float, what: str):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        result = predicate()
+        if result is not None:
+            return result
+        time.sleep(0.25)
+    raise SystemExit(f"smoke: timed out after {timeout:.0f}s waiting for {what}")
+
+
+def healthy(base: str):
+    try:
+        status, body = request(base, "/healthz")
+    except (urllib.error.URLError, ConnectionError, OSError):
+        return None
+    return body if status == 200 else None
+
+
+def finished_job(base: str, job_id: str):
+    _, job = request(base, f"/jobs/{job_id}")
+    return job if job["status"] in ("done", "failed") else None
+
+
+def run_smoke(base: str) -> None:
+    wait_for(lambda: healthy(base), 30, "the server to come up")
+
+    status, first = request(base, "/plans", PLAN)
+    assert status == 202, f"submit returned {status}: {first}"
+    assert first["total"] == 4, f"expected a 4-spec plan, got {first['total']}"
+    job = wait_for(lambda: finished_job(base, first["job_id"]), 120, "job 1")
+    assert job["status"] == "done", f"job 1 failed: {job.get('error')}"
+    assert job["done"] == 4
+
+    with urllib.request.urlopen(
+        base + f"/jobs/{first['job_id']}/records", timeout=30
+    ) as resp:
+        lines = [json.loads(line) for line in resp.read().splitlines()]
+    assert len(lines) == 4, f"streamed {len(lines)} records, expected 4"
+    assert {line["record"]["spec"]["adversary"] for line in lines} == {"none", "silent"}
+
+    # the identical plan again: every record must come out of the store
+    status, second = request(base, "/plans", PLAN)
+    assert status == 202 and second["job_id"] != first["job_id"]
+    again = wait_for(lambda: finished_job(base, second["job_id"]), 60, "job 2")
+    assert again["status"] == "done", f"job 2 failed: {again.get('error')}"
+    served = again["served_from_store"]
+    assert served == again["total"] == 4, (
+        f"re-submit served {served}/{again['total']} from the store, expected 4/4"
+    )
+
+    _, stats = request(base, "/store/stats")
+    assert stats["records"] == 4, f"store holds {stats['records']} records, expected 4"
+    print(f"smoke: OK — 4 ran, then {served}/4 served from store "
+          f"({stats['records']} records at {stats['path']})")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--port", type=int, default=8765)
+    parser.add_argument("--host", default="127.0.0.1")
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
+        store = os.path.join(tmp, "smoke-store.sqlite")
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--host", args.host, "--port", str(args.port),
+             "--store", store, "--jobs", "2"],
+        )
+        try:
+            run_smoke(f"http://{args.host}:{args.port}")
+        finally:
+            server.terminate()
+            try:
+                server.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                server.kill()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -75,6 +75,15 @@ from repro.report import (
     register_report_section,
     render_registries,
 )
+from repro.service import Job, JobManager, create_app, fastapi_available
+from repro.store import (
+    ResultStore,
+    StoreError,
+    code_fingerprint,
+    default_store_path,
+    plan_key,
+    spec_key,
+)
 from repro.trace import (
     PROBE_POINTS,
     ProbePoint,
@@ -100,6 +109,9 @@ __all__ = [
     # orchestration
     "ExperimentSpec", "ExperimentPlan", "ExperimentRecord",
     "SweepRunner", "SweepResult", "WorkerPool", "run_sweep", "execute_spec",
+    # result store and experiment service
+    "ResultStore", "StoreError", "spec_key", "plan_key", "code_fingerprint",
+    "default_store_path", "Job", "JobManager", "create_app", "fastapi_available",
     # conveniences
     "spec_for", "run_experiment", "compare",
     "format_table", "compare_rows", "run_result_row",

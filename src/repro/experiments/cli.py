@@ -18,6 +18,28 @@ Subcommands
         python -m repro sweep --ns 32,64,128 --protocols aer,composed_ba \\
             --adversaries none --modes sync --seeds 0,1,2 --jobs 4 --out sweep.json
 
+    ``--store [PATH]`` makes the sweep *incremental* against the
+    content-addressed result store (records already computed under the
+    current code fingerprint are served, only the delta runs, fresh records
+    are flushed as they complete); ``--no-store`` disables even a
+    ``$REPRO_STORE`` default.  ``--resume out.json`` re-seeds from a prior
+    (possibly partial) result file and runs only the missing spec keys.
+
+``store``
+    Inspect or garbage-collect the result store::
+
+        python -m repro store stats
+        python -m repro store prune --keep-current
+        python -m repro store prune --fingerprint abc1234+dirty
+
+``serve``
+    The experiment service (needs the ``[service]`` extra)::
+
+        python -m repro serve --host 127.0.0.1 --port 8000
+
+    POST a plan JSON to ``/plans``, poll ``/jobs/{id}``, stream NDJSON
+    records from ``/jobs/{id}/records``, query ``/store/stats``.
+
 ``compare``
     The Figure-1-style cross-protocol table: run every protocol on the same
     system sizes and seeds, aggregate across seeds, print one row per
@@ -165,6 +187,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_options(sweep)
     sweep.add_argument("--jobs", type=int, default=None, help="worker processes")
     sweep.add_argument("--out", default=None, help="persist records as JSON here")
+    sweep.add_argument(
+        "--store",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help="serve already-computed records from the content-addressed "
+             "result store and flush fresh ones back (PATH defaults to "
+             "$REPRO_STORE or .repro-store.sqlite)",
+    )
+    sweep.add_argument(
+        "--no-store",
+        action="store_true",
+        help="run without the result store even when $REPRO_STORE is set",
+    )
+    sweep.add_argument(
+        "--resume",
+        default=None,
+        metavar="OUT_JSON",
+        help="re-seed from a prior (possibly partial) sweep JSON and run "
+             "only the missing spec keys; doubles as --out when --out is "
+             "not given",
+    )
 
     compare = sub.add_parser(
         "compare",
@@ -211,7 +256,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument(
         "--cache", default=None, metavar="DIR",
-        help="persist/reuse each section's SweepResult JSON under DIR",
+        help="DEPRECATED: forwards to --store DIR/report-store.sqlite "
+             "(the whole-plan JSON cache was replaced by per-spec store lookups)",
+    )
+    report.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="serve each section's already-computed records from the "
+             "content-addressed result store at PATH and flush fresh ones back",
     )
     report.add_argument("--jobs", type=int, default=None, help="worker processes per sweep")
     report.add_argument(
@@ -228,6 +279,44 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--out", default="REGISTRIES.md",
         help="output path ('-' prints to stdout; default: REGISTRIES.md)",
     )
+
+    store = sub.add_parser(
+        "store", help="inspect or garbage-collect the content-addressed result store"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_stats = store_sub.add_parser("stats", help="record counts by fingerprint/protocol")
+    store_stats.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="store path (default: $REPRO_STORE or .repro-store.sqlite)",
+    )
+    store_prune = store_sub.add_parser("prune", help="delete records by code fingerprint")
+    store_prune.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="store path (default: $REPRO_STORE or .repro-store.sqlite)",
+    )
+    prune_what = store_prune.add_mutually_exclusive_group(required=True)
+    prune_what.add_argument(
+        "--fingerprint", default=None, metavar="FP",
+        help="delete exactly this code fingerprint's records",
+    )
+    prune_what.add_argument(
+        "--keep-current", action="store_true",
+        help="delete every record NOT matching the current code fingerprint",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="run the experiment service (needs the [service] extra)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8000)
+    serve.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="result store path (default: $REPRO_STORE or .repro-store.sqlite)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=None, help="worker processes per sweep"
+    )
+    serve.add_argument("--log-level", default="info")
 
     bench = sub.add_parser("bench", help="fixed kernel benchmark; writes BENCH_kernel.json")
     bench.add_argument("--out", default="BENCH_kernel.json")
@@ -325,23 +414,49 @@ def _build_plan(args: argparse.Namespace, modes: List[str], adversaries: List[st
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.store import StoreError, resolve_store
+    from repro.store.keys import spec_key
+
     if not args.ns:
         print("error: --ns must name at least one system size", file=sys.stderr)
         return 2
+    out = args.out
+    if args.resume and out is None:
+        out = args.resume
+    store = None
     try:
         _apply_trace_dir(args)
         plan = _build_plan(args, modes=args.modes, adversaries=args.adversaries)
-        result = run_sweep(plan, jobs=args.jobs, out=args.out)
-    except ValueError as exc:
+        store = resolve_store(args.store, args.no_store)
+        seed_records = None
+        if args.resume and os.path.exists(args.resume):
+            from repro.experiments.sweep import SweepResult
+
+            seed_records = {
+                spec_key(record.spec): record
+                for record in SweepResult.load_records(args.resume)
+            }
+        result = run_sweep(
+            plan, jobs=args.jobs, out=out, store=store, seed_records=seed_records
+        )
+    except (ValueError, StoreError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if store is not None:
+            store.close()
+    served = (
+        f", {result.served_from_store}/{len(result.records)} served from store"
+        if store is not None or seed_records
+        else ""
+    )
     title = (
         f"sweep of {len(result.records)} experiments "
-        f"({result.jobs} workers, {result.total_seconds:.1f}s)"
+        f"({result.jobs} workers, {result.total_seconds:.1f}s{served})"
     )
     print(format_table(result.rows(), title=title))
-    if args.out:
-        print(f"records written to {args.out}")
+    if out:
+        print(f"records written to {out}")
     return 0
 
 
@@ -420,16 +535,19 @@ def cmd_report(args: argparse.Namespace) -> int:
             section = get_report_section(name)
             print(f"{name:18s} {section.title}")
         return 0
+    from repro.store import StoreError
+
     try:
         builder = ReportBuilder(
             sections=args.sections,
             quick=args.quick,
             jobs=args.jobs,
             cache_dir=args.cache,
+            store_path=args.store,
             include_volatile=args.timings,
         )
         text = builder.build()
-    except ValueError as exc:
+    except (ValueError, StoreError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     _write_document(text, args.out, "report")
@@ -440,6 +558,65 @@ def cmd_registries(args: argparse.Namespace) -> int:
     from repro.report import render_registries
 
     _write_document(render_registries(), args.out, "registry reference")
+    return 0
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    from repro.store import ResultStore, StoreError, default_store_path
+
+    path = args.store or default_store_path()
+    try:
+        store = ResultStore(path)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.store_command == "stats":
+            print(json.dumps(store.stats(), indent=1))
+            return 0
+        removed = store.prune(
+            fingerprint=args.fingerprint, keep_current=args.keep_current
+        )
+        what = (
+            f"fingerprints other than {store.fingerprint}"
+            if args.keep_current
+            else f"fingerprint {args.fingerprint}"
+        )
+        print(f"pruned {removed} record(s) of {what} from {path}")
+        return 0
+    finally:
+        store.close()
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import fastapi_available
+    from repro.store import StoreError, default_store_path
+
+    if not fastapi_available():
+        print(
+            "error: the experiment service needs the optional [service] extra: "
+            "pip install 'aer-repro[service]' (fastapi + uvicorn)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        import uvicorn
+    except ImportError:
+        print(
+            "error: uvicorn is not installed — pip install 'aer-repro[service]'",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.service import create_app
+
+    store_path = args.store or default_store_path()
+    try:
+        app = create_app(store_path=store_path, jobs=args.jobs)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"serving on http://{args.host}:{args.port} (store: {store_path})")
+    uvicorn.run(app, host=args.host, port=args.port, log_level=args.log_level)
     return 0
 
 
@@ -519,6 +696,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_report(args)
     if args.command == "registries":
         return cmd_registries(args)
+    if args.command == "store":
+        return cmd_store(args)
+    if args.command == "serve":
+        return cmd_serve(args)
     if args.command == "bench":
         return cmd_bench(args)
     if args.command == "equivalence":

@@ -27,9 +27,18 @@ import multiprocessing
 import os
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.experiments.plan import ExperimentPlan, ExperimentSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.store import ResultStore
+
+#: in-process protocol-execution counter, incremented by :func:`execute_spec`.
+#: The "second identical sweep against a warm store executes zero protocol
+#: runs" acceptance test reads it (serial ``jobs=1`` sweeps only — worker
+#: processes each count in their own copy).
+RUN_COUNTER: Dict[str, int] = {"executed": 0}
 
 
 @dataclass(frozen=True)
@@ -110,6 +119,7 @@ class ExperimentRecord:
 
 def execute_spec(spec: ExperimentSpec) -> ExperimentRecord:
     """Run one spec and condense the result into a record (worker entry point)."""
+    RUN_COUNTER["executed"] += 1
     start = time.perf_counter()
     result = spec.run()
     seconds = time.perf_counter() - start
@@ -141,6 +151,9 @@ class SweepResult:
     records: List[ExperimentRecord]
     total_seconds: float
     jobs: int
+    #: how many records were served from a result store (or resume file)
+    #: instead of executed; ``len(records)`` means a fully warm re-run
+    served_from_store: int = 0
 
     def rows(self) -> List[Dict[str, object]]:
         """Flat table rows, one per record (plan order)."""
@@ -160,6 +173,7 @@ class SweepResult:
             "records": [record.to_dict() for record in self.records],
             "total_seconds": self.total_seconds,
             "jobs": self.jobs,
+            "served_from_store": self.served_from_store,
         }
 
     def save(self, path: str) -> None:
@@ -176,7 +190,16 @@ class SweepResult:
             records=[ExperimentRecord.from_dict(r) for r in data["records"]],
             total_seconds=data["total_seconds"],
             jobs=data["jobs"],
+            served_from_store=data.get("served_from_store", 0),
         )
+
+    @staticmethod
+    def load_records(path: str) -> List[ExperimentRecord]:
+        """Records of a saved sweep without requiring its plan to match
+        anything — the ``sweep --resume`` seed loader."""
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        return [ExperimentRecord.from_dict(r) for r in data.get("records", ())]
 
 
 def _worker_context():
@@ -265,12 +288,29 @@ class WorkerPool:
         return self._pool
 
     def close(self) -> None:
-        """Terminate the workers (idempotent)."""
+        """Shut the workers down gracefully (idempotent).
+
+        Idle-safe: ``Pool.close()`` lets workers finish anything still in
+        flight before exiting and ``join()`` reaps them, so a long-lived
+        owner (the experiment service's one pool across all requests) can
+        shut down without leaking processes.  Falls back to a hard
+        :meth:`terminate` if graceful teardown itself fails.
+        """
         if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
-            self._size = 0
+            pool, self._pool, self._size = self._pool, None, 0
+            try:
+                pool.close()
+                pool.join()
+            except Exception:  # pragma: no cover - teardown races only
+                pool.terminate()
+                pool.join()
+
+    def terminate(self) -> None:
+        """Kill the workers immediately (idempotent; drops in-flight work)."""
+        if self._pool is not None:
+            pool, self._pool, self._size = self._pool, None, 0
+            pool.terminate()
+            pool.join()
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -312,7 +352,13 @@ class SweepRunner:
             return max(1, self.jobs)
         return max(1, min(os.cpu_count() or 1, spec_count))
 
-    def run(self, pool: Optional[WorkerPool] = None) -> SweepResult:
+    def run(
+        self,
+        pool: Optional[WorkerPool] = None,
+        store: Optional["ResultStore"] = None,
+        seed_records: Optional[Mapping[str, ExperimentRecord]] = None,
+        on_record: Optional[Callable[[int, ExperimentRecord, bool], None]] = None,
+    ) -> SweepResult:
         """Execute every spec of the plan; records come back in plan order.
 
         Every spec is validated against its protocol adapter *before* any
@@ -322,36 +368,84 @@ class SweepRunner:
         the ``(index, record)`` pairs are reassembled into plan order.
         When ``pool`` is given its warm workers are reused (and kept alive
         for the caller's next plan) instead of spinning up a fresh pool.
+
+        With ``store`` (a :class:`~repro.store.ResultStore`) the run is
+        *incremental*: records already stored under the current code
+        fingerprint are served without executing anything, only the delta
+        runs, and each freshly computed record is flushed to the store as
+        it arrives — an interrupted sweep therefore resumes by simply
+        re-running the same command.  ``seed_records`` (spec-key → record,
+        the ``--resume`` file) serves the same way but is not re-persisted
+        unless a store is also given.  ``on_record(index, record,
+        served_from_store)`` fires once per record in completion order —
+        the service's progress/streaming hook.
         """
+        from repro.store.keys import spec_key as _spec_key
+
         specs = self.plan.specs()
         for spec in specs:
             spec.validate()
-        jobs = self.resolve_jobs(len(specs))
         start = time.perf_counter()
-        if (jobs == 1 or len(specs) <= 1) and pool is None:
-            records = [execute_spec(spec) for spec in specs]
+        records: List[Optional[ExperimentRecord]] = [None] * len(specs)
+        served = 0
+        if store is not None:
+            for index, hit in enumerate(store.get_many(specs)):
+                if hit is not None:
+                    records[index] = hit
+        if seed_records:
+            for index, spec in enumerate(specs):
+                if records[index] is None:
+                    hit = seed_records.get(_spec_key(spec))
+                    if hit is not None:
+                        records[index] = hit
+                        if store is not None:
+                            store.put(hit)
+        for index, record in enumerate(records):
+            if record is not None:
+                served += 1
+                if on_record is not None:
+                    on_record(index, record, True)
+        pending = [(i, spec) for i, spec in enumerate(specs) if records[i] is None]
+
+        def finish(index: int, record: ExperimentRecord) -> None:
+            records[index] = record
+            if store is not None:
+                store.put(record)
+            if on_record is not None:
+                on_record(index, record, False)
+
+        jobs = self.resolve_jobs(len(pending) or 1)
+        if not pending:
+            jobs = 1
+        elif (jobs == 1 or len(pending) <= 1) and pool is None:
+            for index, spec in pending:
+                finish(index, execute_spec(spec))
         else:
-            prewarm = _prewarm_args(specs)
+            pending_specs = [spec for _, spec in pending]
+            prewarm = _prewarm_args(pending_specs)
             if pool is not None:
                 worker_pool = pool.acquire(jobs, prewarm)
-                jobs = min(pool.size, max(1, len(specs)))
+                jobs = min(pool.size, max(1, len(pending)))
             else:
                 worker_pool = _worker_context().Pool(
                     processes=jobs, initializer=_worker_init, initargs=(prewarm,)
                 )
             try:
-                records: List[Optional[ExperimentRecord]] = [None] * len(specs)
                 for index, record in worker_pool.imap_unordered(
-                    _execute_indexed, list(enumerate(specs)), chunksize=self.chunksize
+                    _execute_indexed, list(pending), chunksize=self.chunksize
                 ):
-                    records[index] = record
+                    finish(index, record)
             finally:
                 if pool is None:
                     worker_pool.terminate()
                     worker_pool.join()
         total_seconds = time.perf_counter() - start
         return SweepResult(
-            plan=self.plan, records=records, total_seconds=total_seconds, jobs=jobs
+            plan=self.plan,
+            records=records,
+            total_seconds=total_seconds,
+            jobs=jobs,
+            served_from_store=served,
         )
 
 
@@ -360,9 +454,13 @@ def run_sweep(
     jobs: Optional[int] = None,
     out: Optional[str] = None,
     pool: Optional[WorkerPool] = None,
+    store: Optional["ResultStore"] = None,
+    seed_records: Optional[Mapping[str, ExperimentRecord]] = None,
 ) -> SweepResult:
     """Convenience wrapper: run a plan and optionally persist the result."""
-    result = SweepRunner(plan, jobs=jobs).run(pool=pool)
+    result = SweepRunner(plan, jobs=jobs).run(
+        pool=pool, store=store, seed_records=seed_records
+    )
     if out is not None:
         result.save(out)
     return result

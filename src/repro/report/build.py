@@ -24,11 +24,13 @@ from __future__ import annotations
 import platform
 import subprocess
 import time
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.sweep import SweepResult, SweepRunner, WorkerPool
+from repro.store import ResultStore
 from repro.report.base import (
     ReportSection,
     get_report_section,
@@ -42,7 +44,11 @@ REPORT_FORMAT = "1"
 
 @dataclass(frozen=True)
 class BuiltSection:
-    """One section's finished product: the sweep it ran and its Markdown."""
+    """One section's finished product: the sweep it ran and its Markdown.
+
+    ``from_cache`` is true when *every* record of the section's sweep was
+    served from the result store (zero protocol executions).
+    """
 
     section: ReportSection
     sweep: SweepResult
@@ -74,12 +80,18 @@ class ReportBuilder:
         ``True`` runs the small CI-sized grids, ``False`` the full grids.
     jobs:
         Worker processes per sweep (``None`` lets the runner pick).
+    store_path:
+        When set, every section's sweep runs against the content-addressed
+        :class:`~repro.store.ResultStore` at that path: records already
+        stored under the current code fingerprint are served **per spec**
+        (changing one grid point re-runs only that point), the delta is
+        executed and flushed back.  The rendered document is byte-identical
+        with or without the store — records carry their original
+        measurements.
     cache_dir:
-        When set, each section's :class:`SweepResult` is persisted as
-        ``<cache_dir>/<section>--<quick|full>.json`` and reused on the next
-        build *iff* the stored plan still equals the section's plan — so
-        re-rendering (e.g. after editing commentary code) does not
-        re-simulate.
+        Deprecated (whole-plan JSON caching).  Forwards to the store path
+        ``<cache_dir>/report-store.sqlite`` with a ``DeprecationWarning``;
+        use ``store_path`` instead.
     include_volatile:
         Add git commit and wall-clock lines to the provenance header (breaks
         the byte-identical contract; see the module docstring).
@@ -92,59 +104,69 @@ class ReportBuilder:
         jobs: Optional[int] = None,
         cache_dir: Optional[str] = None,
         include_volatile: bool = False,
+        store_path: Optional[str] = None,
     ) -> None:
         names = list(sections) if sections is not None else list_report_sections()
         self.sections: List[ReportSection] = [get_report_section(name) for name in names]
         self.quick = quick
         self.jobs = jobs
-        self.cache_dir = Path(cache_dir) if cache_dir else None
+        if cache_dir is not None and store_path is None:
+            warnings.warn(
+                "ReportBuilder(cache_dir=...) / report --cache are deprecated: "
+                "the whole-plan JSON cache was replaced by the per-spec result "
+                "store; forwarding to store_path="
+                f"{str(Path(cache_dir) / 'report-store.sqlite')!r} "
+                "(use --store / store_path directly)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            store_path = str(Path(cache_dir) / "report-store.sqlite")
+        self.store_path = store_path
         self.include_volatile = include_volatile
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def _cache_path(self, section: ReportSection) -> Optional[Path]:
-        if self.cache_dir is None:
-            return None
-        mode = "quick" if self.quick else "full"
-        return self.cache_dir / f"{section.name}--{mode}.json"
-
     def _run_section(
-        self, section: ReportSection, pool: Optional[WorkerPool]
+        self,
+        section: ReportSection,
+        pool: Optional[WorkerPool],
+        store: Optional[ResultStore],
     ) -> Tuple[SweepResult, bool]:
         plan = section.plan(quick=self.quick)
-        path = self._cache_path(section)
-        if path is not None and path.exists():
-            cached = SweepResult.load(str(path))
-            if cached.plan.to_dict() == plan.to_dict():
-                return cached, True
-        sweep = SweepRunner(plan, jobs=self.jobs).run(pool=pool)
-        if path is not None:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            sweep.save(str(path))
-        return sweep, False
+        sweep = SweepRunner(plan, jobs=self.jobs).run(pool=pool, store=store)
+        fully_served = bool(sweep.records) and sweep.served_from_store == len(sweep.records)
+        return sweep, fully_served
 
     def build_sections(self) -> List[BuiltSection]:
-        """Run (or reload) every requested section and render its Markdown.
+        """Run (or serve from the store) every requested section.
 
         All sections share one :class:`~repro.experiments.sweep.WorkerPool`:
         the pool spins up lazily for the first section that actually needs
         workers and its warm (sampler-prewarmed) processes are reused by
         every following section, instead of paying pool startup per plan.
-        ``jobs=1`` keeps the fully serial in-process path.
+        ``jobs=1`` keeps the fully serial in-process path.  They likewise
+        share one :class:`~repro.store.ResultStore` when ``store_path`` is
+        set, so each spec is looked up and flushed exactly once.
         """
         built = []
         serial = self.jobs is not None and self.jobs <= 1
-        with WorkerPool(processes=self.jobs) as pool:
-            shared_pool = None if serial else pool
-            for section in self.sections:
-                sweep, from_cache = self._run_section(section, shared_pool)
-                markdown = section.render(sweep.records, quick=self.quick)
-                built.append(
-                    BuiltSection(
-                        section=section, sweep=sweep, markdown=markdown, from_cache=from_cache
+        store = ResultStore(self.store_path) if self.store_path else None
+        try:
+            with WorkerPool(processes=self.jobs) as pool:
+                shared_pool = None if serial else pool
+                for section in self.sections:
+                    sweep, from_cache = self._run_section(section, shared_pool, store)
+                    markdown = section.render(sweep.records, quick=self.quick)
+                    built.append(
+                        BuiltSection(
+                            section=section, sweep=sweep, markdown=markdown,
+                            from_cache=from_cache,
+                        )
                     )
-                )
+        finally:
+            if store is not None:
+                store.close()
         return built
 
     # ------------------------------------------------------------------
@@ -240,6 +262,7 @@ def build_report(
     cache_dir: Optional[str] = None,
     out: Optional[str] = None,
     include_volatile: bool = False,
+    store_path: Optional[str] = None,
 ) -> str:
     """Convenience wrapper: build the document, optionally writing it to ``out``."""
     builder = ReportBuilder(
@@ -248,6 +271,7 @@ def build_report(
         jobs=jobs,
         cache_dir=cache_dir,
         include_volatile=include_volatile,
+        store_path=store_path,
     )
     if out is not None:
         return builder.write(out)

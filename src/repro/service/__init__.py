@@ -1,0 +1,47 @@
+"""Experiment service: submit plans over HTTP, stream records, query the store.
+
+Two halves, split exactly like the related-work services (an ``api`` layer
+over a ``worker`` layer):
+
+* :mod:`repro.service.jobs` — framework-free job orchestration.  A
+  :class:`JobManager` owns one background worker thread, one shared warm
+  :class:`~repro.experiments.sweep.WorkerPool` and one
+  :class:`~repro.store.ResultStore`; submitted
+  :class:`~repro.experiments.plan.ExperimentPlan`\\ s queue onto the thread,
+  identical in-flight submissions **coalesce onto one job**, and records
+  stream out in completion order.  No FastAPI import — the manager is fully
+  testable (and usable as a library) without the ``[service]`` extra.
+* :mod:`repro.service.app` — the FastAPI application over the manager:
+  submit / poll / NDJSON-stream / store-query routers.  Imported lazily so
+  this package works without ``fastapi`` installed; ``python -m repro
+  serve`` is the uvicorn entry point.
+"""
+
+from repro.service.jobs import Job, JobManager
+
+__all__ = ["Job", "JobManager", "create_app", "fastapi_available"]
+
+
+def fastapi_available() -> bool:
+    """Whether the optional ``[service]`` extra (fastapi) is importable."""
+    try:
+        import fastapi  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def create_app(*args, **kwargs):
+    """Build the FastAPI app (lazy import; see :func:`repro.service.app.create_app`).
+
+    Raises a ``RuntimeError`` naming the install command when fastapi is
+    missing, instead of an ImportError deep inside a router module.
+    """
+    if not fastapi_available():
+        raise RuntimeError(
+            "the experiment service needs the optional [service] extra: "
+            "pip install 'aer-repro[service]' (fastapi + uvicorn)"
+        )
+    from repro.service.app import create_app as _create_app
+
+    return _create_app(*args, **kwargs)

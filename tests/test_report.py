@@ -12,7 +12,7 @@ import pytest
 
 from repro.experiments.cli import main as cli_main
 from repro.experiments.plan import ExperimentPlan, ExperimentSpec
-from repro.experiments.sweep import ExperimentRecord, SweepResult, SweepRunner
+from repro.experiments.sweep import ExperimentRecord
 from repro.analysis.statistics import mean_ci
 from repro.report import (
     REPORT_SECTIONS,
@@ -233,35 +233,49 @@ def test_builder_volatile_provenance_is_opt_in(tiny_section):
     assert "git commit" in text and "wall-time" in text
 
 
-def test_cache_round_trip_skips_resimulation(tiny_section, tmp_path, monkeypatch):
-    cache = tmp_path / "cache"
-    builder = ReportBuilder(sections=["tiny_test"], jobs=1, cache_dir=str(cache))
+def test_store_round_trip_skips_resimulation(tiny_section, tmp_path, monkeypatch):
+    from repro.experiments.sweep import RUN_COUNTER
+
+    monkeypatch.setenv("REPRO_CODE_FINGERPRINT", "report-test-fp")
+    store = tmp_path / "store.sqlite"
+    builder = ReportBuilder(sections=["tiny_test"], jobs=1, store_path=str(store))
     [built] = builder.build_sections()
     assert not built.from_cache
-    path = cache / "tiny_test--quick.json"
-    assert path.exists()
-    # the cached sweep round-trips through SweepResult.save/load with its plan
-    assert SweepResult.load(str(path)).plan.to_dict() == tiny_section.plan(True).to_dict()
+    assert store.exists()
 
-    # a second build must reload, never re-run
-    def boom(self):
-        raise AssertionError("cache should have been used")
-
-    monkeypatch.setattr(SweepRunner, "run", boom)
-    again = ReportBuilder(sections=["tiny_test"], jobs=1, cache_dir=str(cache))
+    # a second build serves every record from the store, never re-running
+    before = RUN_COUNTER["executed"]
+    again = ReportBuilder(sections=["tiny_test"], jobs=1, store_path=str(store))
     [reloaded] = again.build_sections()
     assert reloaded.from_cache
+    assert reloaded.sweep.served_from_store == len(reloaded.sweep.records) == 2
+    assert RUN_COUNTER["executed"] == before  # zero protocol executions
     assert reloaded.markdown == built.markdown
-    monkeypatch.undo()
 
-    # a stale cache (plan mismatch) is ignored and overwritten
-    other = SweepRunner(ExperimentPlan(ns=(24,), seeds=(5,), label="tiny"), jobs=1).run()
-    other.save(str(path))
+    # a different code fingerprint invalidates per spec (full re-run here)
+    monkeypatch.setenv("REPRO_CODE_FINGERPRINT", "report-test-fp2")
     [rebuilt] = ReportBuilder(
-        sections=["tiny_test"], jobs=1, cache_dir=str(cache)
+        sections=["tiny_test"], jobs=1, store_path=str(store)
     ).build_sections()
     assert not rebuilt.from_cache
     assert {r.spec.seed for r in rebuilt.sweep.records} == {0, 1}
+
+
+def test_cache_dir_is_a_deprecated_shim_onto_the_store(tiny_section, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CODE_FINGERPRINT", "report-test-fp")
+    cache = tmp_path / "cache"
+    with pytest.deprecated_call(match="--cache are deprecated"):
+        builder = ReportBuilder(sections=["tiny_test"], jobs=1, cache_dir=str(cache))
+    assert builder.store_path == str(cache / "report-store.sqlite")
+    [built] = builder.build_sections()
+    assert not built.from_cache
+    assert (cache / "report-store.sqlite").exists()
+    # the forwarded store serves the next --cache build entirely
+    with pytest.deprecated_call():
+        again = ReportBuilder(sections=["tiny_test"], jobs=1, cache_dir=str(cache))
+    [reloaded] = again.build_sections()
+    assert reloaded.from_cache
+    assert reloaded.markdown == built.markdown
 
 
 # ----------------------------------------------------------------------

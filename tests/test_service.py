@@ -1,0 +1,189 @@
+"""Experiment-service subsystem: job manager, coalescing, streaming, HTTP app.
+
+The :class:`~repro.service.jobs.JobManager` half is framework-free and fully
+tested here without the ``[service]`` extra; the FastAPI layer is exercised
+only when fastapi is importable (the main CI test job runs without it — the
+import guard itself is part of the contract) and e2e by the CI service-smoke
+job.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.plan import ExperimentPlan
+from repro.experiments.sweep import RUN_COUNTER
+from repro.service import JobManager, fastapi_available
+from repro.service.jobs import DONE, FAILED
+from repro.store import ResultStore
+
+
+@pytest.fixture(autouse=True)
+def _pinned_fingerprint(monkeypatch):
+    monkeypatch.setenv("REPRO_CODE_FINGERPRINT", "service-test-fp")
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with ResultStore(str(tmp_path / "store.sqlite")) as s:
+        yield s
+
+
+@pytest.fixture()
+def manager(store):
+    with JobManager(store=store, jobs=1) as mgr:
+        yield mgr
+
+
+PLAN = ExperimentPlan(ns=(24,), seeds=(3, 4))
+
+
+class TestJobManager:
+    def test_submit_poll_and_finish(self, manager):
+        job, coalesced = manager.submit(PLAN)
+        assert not coalesced and job.total == 2
+        finished = manager.wait(job.id, timeout=60)
+        assert finished.status == DONE
+        progress = finished.progress()
+        assert progress["done"] == progress["total"] == 2
+        assert progress["error"] is None
+
+    def test_streaming_yields_every_record_in_completion_order(self, manager):
+        job, _ = manager.submit(PLAN)
+        streamed = list(manager.iter_records(job.id))
+        assert [index for index, _, _ in streamed] == [0, 1]
+        assert all(not served for _, _, served in streamed)
+        assert [record.spec.seed for _, record, _ in streamed] == [3, 4]
+        # a late consumer (job already done) still gets the full stream
+        assert len(list(manager.iter_records(job.id))) == 2
+        # ?start=N resumes mid-stream
+        assert len(list(manager.iter_records(job.id, start=1))) == 1
+
+    def test_identical_inflight_submissions_coalesce(self, manager):
+        job_a, first = manager.submit(PLAN)
+        job_b, second = manager.submit(PLAN)
+        assert not first and second
+        assert job_a.id == job_b.id and job_a.submissions == 2
+        # an equivalent spelling of the same plan coalesces too
+        job_c, third = manager.submit(ExperimentPlan(ns=[24], seeds=[3, 4]))
+        assert third and job_c.id == job_a.id
+        manager.wait(job_a.id, timeout=60)
+
+    def test_resubmit_after_completion_serves_from_store(self, manager):
+        job, _ = manager.submit(PLAN)
+        manager.wait(job.id, timeout=60)
+        executed_before = RUN_COUNTER["executed"]
+        again, coalesced = manager.submit(PLAN)
+        assert not coalesced and again.id != job.id
+        manager.wait(again.id, timeout=60)
+        assert RUN_COUNTER["executed"] == executed_before  # zero protocol runs
+        assert again.served_from_store == again.total == 2
+        assert [r.to_dict() for _, r, _ in sorted(again.records)] == [
+            r.to_dict() for _, r, _ in sorted(job.records)
+        ]
+
+    def test_invalid_plan_is_rejected_at_submit(self, manager):
+        with pytest.raises(ValueError, match="unknown trace mode"):
+            manager.submit(ExperimentPlan(ns=(24,), trace="bogus"))
+
+    def test_failing_job_reports_error_and_keeps_serving(self, manager, monkeypatch):
+        import repro.experiments.sweep as sweep_mod
+
+        def boom(self, **kwargs):
+            raise RuntimeError("worker exploded")
+
+        monkeypatch.setattr(sweep_mod.SweepRunner, "run", boom)
+        job, _ = manager.submit(PLAN)
+        manager.wait(job.id, timeout=60)
+        assert job.status == FAILED
+        assert "worker exploded" in job.error
+        monkeypatch.undo()
+        ok, _ = manager.submit(ExperimentPlan(ns=(24,), seeds=(5,)))
+        manager.wait(ok.id, timeout=60)
+        assert ok.status == DONE
+
+    def test_unknown_job_raises_key_error(self, manager):
+        with pytest.raises(KeyError):
+            manager.get("job-99999-nope")
+
+    def test_close_is_idempotent_and_rejects_new_work(self, store):
+        mgr = JobManager(store=store, jobs=1)
+        job, _ = mgr.submit(ExperimentPlan(ns=(24,), seeds=(3,)))
+        mgr.close()
+        mgr.close()
+        assert mgr.get(job.id).finished  # queued work drains before shutdown
+        with pytest.raises(RuntimeError, match="closed"):
+            mgr.submit(PLAN)
+
+    def test_manager_without_store_still_runs(self):
+        with JobManager(store=None, jobs=1) as mgr:
+            job, _ = mgr.submit(ExperimentPlan(ns=(24,), seeds=(3,)))
+            mgr.wait(job.id, timeout=60)
+            assert job.status == DONE and job.served_from_store == 0
+
+
+# ----------------------------------------------------------------------
+# import guard: the service package must work without fastapi
+# ----------------------------------------------------------------------
+def test_create_app_guard_names_the_extra(monkeypatch):
+    if fastapi_available():
+        pytest.skip("fastapi installed; the missing-dependency path is moot")
+    from repro.service import create_app
+
+    with pytest.raises(RuntimeError, match=r"\[service\] extra"):
+        create_app()
+
+
+def test_serve_cli_fails_cleanly_without_fastapi(capsys):
+    if fastapi_available():
+        pytest.skip("fastapi installed; the missing-dependency path is moot")
+    from repro.experiments.cli import main as cli_main
+
+    assert cli_main(["serve"]) == 2
+    assert "[service]" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# HTTP layer (runs only with the [service] extra installed)
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(not fastapi_available(), reason="needs the [service] extra")
+class TestHTTPApp:
+    @pytest.fixture()
+    def client(self, manager):
+        from fastapi.testclient import TestClient
+
+        from repro.service import create_app
+
+        app = create_app(manager=manager)
+        with TestClient(app) as client:
+            yield client
+
+    def test_submit_poll_stream_and_cached_resubmit(self, client):
+        payload = PLAN.to_dict()
+        submitted = client.post("/plans", json=payload).json()
+        job_id = submitted["job_id"]
+        assert submitted["total"] == 2
+
+        lines = [
+            json.loads(line)
+            for line in client.get(f"/jobs/{job_id}/records").text.splitlines()
+        ]
+        assert len(lines) == 2
+        assert {line["record"]["spec"]["seed"] for line in lines} == {3, 4}
+
+        progress = client.get(f"/jobs/{job_id}").json()
+        assert progress["status"] == "done" and progress["done"] == 2
+
+        again = client.post("/plans", json=payload).json()
+        result = client.get(f"/jobs/{again['job_id']}/result")
+        while result.status_code == 409:
+            result = client.get(f"/jobs/{again['job_id']}/result")
+        assert result.json()["served_from_store"] == 2
+
+    def test_store_endpoints_and_errors(self, client):
+        assert client.get("/healthz").json()["status"] == "ok"
+        assert client.get("/store/stats").json()["schema_version"] >= 1
+        assert client.get("/jobs/nope").status_code == 404
+        assert client.post("/plans", json={"ns": [24], "bogus": 1}).status_code == 422
