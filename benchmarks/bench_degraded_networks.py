@@ -1,0 +1,90 @@
+"""Degraded networks — agreement under loss, churn and heavy-tailed delays.
+
+Reproduction: run the ``degraded_networks`` report section's grid — message
+loss and crash-recovery churn under the synchronous scheduler, loss crossed
+with heavy-tailed (Pareto, lognormal) delay families under the asynchronous
+one — and assert the qualitative shape the fault layer is built to expose:
+
+* the fault-free corners of the grid still reach agreement everywhere (the
+  injection layer is off by default and provably free when off — the golden
+  matrix pins that byte-identically);
+* sustained loss strictly erodes the decided fraction (AER has no
+  retransmission layer, so dropped quorum traffic is never recovered);
+* heavy-tailed delay families alone (no loss) preserve agreement — the
+  asynchronous pull phase tolerates arbitrary finite delays.
+
+The plan and the table rows come from the ``degraded_networks`` report
+section, so this benchmark and the corresponding EXPERIMENTS.md section
+share one row source.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.plan import ExperimentSpec
+from repro.report.sections import DEGRADED_NETWORKS
+
+PLAN = DEGRADED_NETWORKS.plan(quick=True)
+
+
+@pytest.fixture(scope="module")
+def degraded_rows(run_plan):
+    sweep = run_plan(PLAN)
+    rows = [DEGRADED_NETWORKS.record_row(record) for record in sweep.records]
+    return rows, list(sweep.records)
+
+
+def test_benchmark_single_faulted_run(benchmark):
+    spec = ExperimentSpec(n=32, mode="sync", seed=0, faults={"loss_rate": 0.05})
+    result = benchmark.pedantic(spec.run, rounds=1, iterations=1)
+    assert result.extras["fault_dropped_loss"] > 0
+
+
+def test_fault_free_corners_agree(degraded_rows):
+    rows, _ = degraded_rows
+    clean = [row for row in rows if row["faults"] == "none"]
+    assert clean, "the grid must include fault-free baseline corners"
+    assert all(row["agreement"] == 1 for row in clean)
+
+
+def test_loss_erodes_decided_fraction(degraded_rows):
+    rows, _ = degraded_rows
+    # per (mode, delay, seed): decided fraction at loss 0 vs the heaviest loss
+    for mode, delay in {(row["mode"], row["delay"]) for row in rows}:
+        cohort = [r for r in rows if r["mode"] == mode and r["delay"] == delay]
+        for seed in {r["seed"] for r in cohort}:
+            runs = [r for r in cohort if r["seed"] == seed]
+            clean = [r for r in runs if r["faults"] == "none"]
+            lossy = [r for r in runs if r["faults"].startswith("loss=")]
+            if not clean or not lossy:
+                continue
+            worst = min(r["decided_fraction"] for r in lossy)
+            assert worst <= max(r["decided_fraction"] for r in clean)
+
+
+def test_heavy_tails_alone_preserve_agreement(degraded_rows):
+    rows, _ = degraded_rows
+    tails = [
+        row for row in rows
+        if row["delay"] in ("pareto", "lognormal") and row["faults"] == "none"
+    ]
+    assert tails, "the grid must include loss-free heavy-tail corners"
+    assert all(row["agreement"] == 1 for row in tails)
+
+
+def test_fault_counters_surface_in_extras(degraded_rows):
+    _, records = degraded_rows
+    for record in records:
+        faults = record.spec.faults_dict()
+        has_counters = any(k.startswith("fault_") for k in record.extras)
+        assert has_counters == bool(faults), record.spec.key
+        if faults.get("loss_rate"):
+            assert record.extras["fault_dropped_loss"] > 0, record.spec.key
+
+
+def test_report_table(degraded_rows, record_table, benchmark):
+    rows, _ = degraded_rows
+    record_table("degraded_networks", rows,
+                 "Degraded networks — loss, churn and heavy-tailed delays")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -18,6 +18,7 @@ from __future__ import annotations
 import json
 import sys
 
+from repro.experiments.plan import ExperimentSpec
 from repro.runner import run_aer_experiment
 
 #: (mode, rushing, adversary, n, seed) matrix pinned by the fixture
@@ -35,6 +36,27 @@ GOLDEN_MATRIX = [
     ("async", False, "equivocate", 24, 3),
     ("async", False, "slow_knowledgeable", 24, 3),
     ("async", False, "cornering_nodelay", 24, 3),
+]
+
+
+#: fault-injection cases (PR 8): full specs pinned alongside their outcome.
+#: Keys start with ``fault:`` and the entry carries its own ``"spec"`` dict,
+#: so the legacy positional-key parser never sees them.
+FAULT_MATRIX = [
+    (
+        "fault:churn:sync:n24:s3",
+        dict(n=24, mode="sync", seed=3,
+             faults={"churn_rate": 0.05, "recovery_rate": 0.5}),
+    ),
+    (
+        "fault:loss:async:n24:s3",
+        dict(n=24, mode="async", seed=3, faults={"loss_rate": 0.1}),
+    ),
+    (
+        "fault:partition-heal:sync:n24:s5",
+        dict(n=24, mode="sync", seed=5,
+             faults={"partitions": [{"start": 1.0, "end": 3.0, "fraction": 0.5}]}),
+    ),
 ]
 
 
@@ -62,10 +84,35 @@ def run_case(mode: str, rushing: bool, adversary: str, n: int, seed: int) -> dic
     }
 
 
+def run_fault_case(spec_kwargs: dict) -> dict:
+    spec = ExperimentSpec(**spec_kwargs)
+    result = spec.run()
+    raw = result.raw
+    return {
+        "spec": spec.to_dict(),
+        "decisions": {str(i): v for i, v in sorted(raw.decisions.items())},
+        "rounds": result.rounds,
+        "span": result.span,
+        "decided_count": result.decided_count,
+        "agreement": result.agreement,
+        "total_messages": result.total_messages,
+        "total_bits": result.total_bits,
+        "max_node_bits": result.max_node_bits,
+        "decision_times": {
+            str(i): t for i, t in sorted(raw.metrics.decision_times.items())
+        },
+        "extras": {k: v for k, v in sorted(result.extras.items())
+                   if k.startswith("fault_")},
+    }
+
+
 def main(out_path: str) -> None:
     golden = {
         case_key(*case): run_case(*case) for case in GOLDEN_MATRIX
     }
+    golden.update(
+        {key: run_fault_case(kwargs) for key, kwargs in FAULT_MATRIX}
+    )
     with open(out_path, "w", encoding="utf-8") as fh:
         json.dump(golden, fh, indent=1, sort_keys=True)
     print(f"wrote {len(golden)} golden cases to {out_path}")

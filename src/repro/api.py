@@ -39,6 +39,12 @@ from repro.adversary.registry import ADVERSARIES, register_adversary, resolve_ad
 from repro.analysis.experiments import compare_rows, format_table, run_result_row
 from repro.core.scenario import AERScenario, make_scenario
 from repro.experiments.plan import ExperimentPlan, ExperimentSpec
+from repro.faults import (
+    FaultInjector,
+    FaultSchedule,
+    PartitionWindow,
+    injector_for_spec,
+)
 from repro.experiments.sweep import (
     ExperimentRecord,
     SweepResult,
@@ -106,6 +112,8 @@ __all__ = [
     "ProtocolAdapter", "RunResult", "Adversary", "AdversaryKnowledge",
     "DelayPolicy", "AERScenario", "make_scenario", "ReportSection",
     "ProbePoint", "TraceCollector", "TraceSummary", "collector_for_spec",
+    # fault injection
+    "FaultSchedule", "FaultInjector", "PartitionWindow", "injector_for_spec",
     # orchestration
     "ExperimentSpec", "ExperimentPlan", "ExperimentRecord",
     "SweepRunner", "SweepResult", "WorkerPool", "run_sweep", "execute_spec",

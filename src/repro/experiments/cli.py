@@ -72,6 +72,13 @@ Protocol-specific parameters are passed as repeated ``--param key=value``
 options; values are parsed as JSON when possible (``--param
 delay_params='{"value": 0.5}'``), else kept as strings.
 
+Fault-injection knobs (see :mod:`repro.faults`) are passed the same way as
+repeated ``--fault key=value`` options on ``run`` and ``sweep``::
+
+    python -m repro run --n 64 --fault loss_rate=0.1
+    python -m repro run --n 64 --fault churn_rate=0.02 --fault recovery_rate=0.3
+    python -m repro run --n 64 --fault 'partitions=[{"start": 1, "end": 4}]'
+
 ``--trace {off,summary,full}`` (on ``run`` and ``sweep``) opts runs into the
 trace subsystem: ``summary`` attaches the condensed
 :class:`~repro.trace.collector.TraceSummary` to every record, ``full``
@@ -102,13 +109,15 @@ def _csv_strs(text: str) -> List[str]:
     return [part for part in text.split(",") if part]
 
 
-def _parse_params(pairs: Optional[Sequence[str]]) -> Dict[str, object]:
+def _parse_params(
+    pairs: Optional[Sequence[str]], option: str = "--param"
+) -> Dict[str, object]:
     """``["k=v", ...]`` → dict, JSON-decoding each value when possible."""
     params: Dict[str, object] = {}
     for pair in pairs or ():
         key, sep, raw = pair.partition("=")
         if not sep or not key:
-            raise ValueError(f"--param expects key=value, got {pair!r}")
+            raise ValueError(f"{option} expects key=value, got {pair!r}")
         try:
             params[key] = json.loads(raw)
         except json.JSONDecodeError:
@@ -134,6 +143,17 @@ def _add_shared_spec_options(parser: argparse.ArgumentParser) -> None:
         action="append",
         metavar="KEY=VALUE",
         help="protocol-specific parameter (repeatable; value parsed as JSON if possible)",
+    )
+
+
+def _add_fault_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fault",
+        action="append",
+        metavar="KEY=VALUE",
+        help="fault-injection knob (repeatable; value parsed as JSON if "
+             "possible): loss_rate, churn_rate, recovery_rate, churn_start, "
+             "partitions, slow_fraction, slow_factor, byzantine_factor",
     )
 
 
@@ -173,6 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--mode", default="sync", choices=["sync", "async"])
     run.add_argument("--seed", type=int, default=0)
     _add_shared_spec_options(run)
+    _add_fault_options(run)
     _add_trace_options(run)
 
     sweep = sub.add_parser("sweep", help="run a grid of experiments in parallel")
@@ -184,6 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--modes", type=_csv_strs, default=["sync"])
     sweep.add_argument("--seeds", type=_csv_ints, default=[0])
     _add_shared_spec_options(sweep)
+    _add_fault_options(sweep)
     _add_trace_options(sweep)
     sweep.add_argument("--jobs", type=int, default=None, help="worker processes")
     sweep.add_argument("--out", default=None, help="persist records as JSON here")
@@ -379,6 +401,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             trace=args.trace,
             params=_parse_params(args.param),
             backend=args.backend,
+            faults=_parse_params(args.fault, option="--fault"),
         )
         result = spec.run()
     except ValueError as exc:
@@ -410,6 +433,7 @@ def _build_plan(args: argparse.Namespace, modes: List[str], adversaries: List[st
         trace=getattr(args, "trace", "off"),
         params=_parse_params(args.param),
         backend=getattr(args, "backend", "message"),
+        faults=_parse_params(getattr(args, "fault", None), option="--fault"),
     )
 
 
@@ -432,10 +456,25 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         if args.resume and os.path.exists(args.resume):
             from repro.experiments.sweep import SweepResult
 
+            # An interrupted sweep may leave the resume file empty or
+            # truncated mid-JSON; that means "no prior records", not a
+            # fatal error — warn and run the full plan.
+            try:
+                loaded = SweepResult.load_records(args.resume)
+            except json.JSONDecodeError as exc:
+                print(
+                    f"warning: resume file {args.resume} is empty or "
+                    f"truncated ({exc}); seeding 0/{len(plan)} records",
+                    file=sys.stderr,
+                )
+                loaded = []
             seed_records = {
-                spec_key(record.spec): record
-                for record in SweepResult.load_records(args.resume)
+                spec_key(record.spec): record for record in loaded
             }
+            print(
+                f"resume: seeding {len(seed_records)}/{len(plan)} records "
+                f"from {args.resume}"
+            )
         result = run_sweep(
             plan, jobs=args.jobs, out=out, store=store, seed_records=seed_records
         )

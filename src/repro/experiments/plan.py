@@ -23,6 +23,7 @@ import json
 from dataclasses import asdict, dataclass, field, fields, replace
 from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
 
+from repro.faults import FaultSchedule
 from repro.trace.collector import TRACE_MODES
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -53,6 +54,23 @@ def _canonical_params(value) -> str:
             f"protocol params must be JSON-serializable (specs round-trip "
             f"through sweep files): {exc}"
         ) from None
+
+
+def _canonical_faults(value) -> str:
+    """Normalize a fault-schedule spelling to canonical JSON text.
+
+    Accepts a :class:`~repro.faults.FaultSchedule`, a mapping of knobs or
+    JSON text; the canonical form is the schedule's defaults-omitted JSON,
+    so two spellings of the same schedule — ``{}`` and an explicit
+    ``{"loss_rate": 0.0}`` — compare equal and share one ``spec_key``.
+    Unknown keys and out-of-range values are rejected here (by name), at
+    spec construction time.
+    """
+    if isinstance(value, FaultSchedule):
+        return value.to_json()
+    if isinstance(value, str):
+        return FaultSchedule.from_json(value).to_json()
+    return FaultSchedule.from_dict(value).to_json()
 
 
 @dataclass(frozen=True)
@@ -88,9 +106,15 @@ class ExperimentSpec:
     #: "vectorized" (whole-round numpy engine for large n; sync-only, no
     #: trace, subset of adversaries — see repro.vec)
     backend: str = "message"
+    #: fault schedule as canonical JSON text (construct with a plain dict —
+    #: ``faults={"loss_rate": 0.1}`` — and read via faults_schedule());
+    #: ``"{}"`` is the default no-op: no injector is built and the run is
+    #: byte-identical to one without the fault subsystem
+    faults: str = "{}"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "params", _canonical_params(self.params))
+        object.__setattr__(self, "faults", _canonical_faults(self.faults))
 
     @property
     def key(self) -> str:
@@ -105,6 +129,8 @@ class ExperimentSpec:
         base = f"{self.mode}{rushing}:{self.adversary}:n{self.n}:s{self.seed}"
         if self.backend != "message":
             base = f"{base}:vec"
+        if self.faults != "{}":
+            base = f"{base}:flt"
         if self.protocol == "aer":
             return base
         return f"{self.protocol}:{base}"
@@ -112,6 +138,14 @@ class ExperimentSpec:
     def params_dict(self) -> Dict[str, object]:
         """The protocol-specific extras as a plain dict."""
         return json.loads(self.params)
+
+    def faults_dict(self) -> Dict[str, object]:
+        """The fault schedule's non-default knobs as a plain dict."""
+        return json.loads(self.faults)
+
+    def faults_schedule(self) -> FaultSchedule:
+        """The parsed :class:`~repro.faults.FaultSchedule` (no-op by default)."""
+        return FaultSchedule.from_json(self.faults)
 
     def validate(self) -> None:
         """Raise ``ValueError`` if this spec cannot be run as described."""
@@ -134,6 +168,9 @@ class ExperimentSpec:
                 f"unknown backend {self.backend!r} "
                 f"(expected 'message' or 'vectorized')"
             )
+        # Knob names/ranges were checked at construction; the mode-dependent
+        # constraints (delay classes are async-only) can only be checked here.
+        self.faults_schedule().validate_for_mode(self.mode)
         get_protocol(self.protocol).validate(self)
 
     def run(self) -> "RunResult":
@@ -146,6 +183,7 @@ class ExperimentSpec:
     def to_dict(self) -> Dict[str, object]:
         data = asdict(self)
         data["params"] = self.params_dict()
+        data["faults"] = self.faults_dict()
         return data
 
     @staticmethod
@@ -195,6 +233,9 @@ class ExperimentPlan:
     params: str = "{}"
     #: engine backend shared by every generated spec (message|vectorized)
     backend: str = "message"
+    #: fault schedule shared by every generated spec (canonical JSON text;
+    #: construct with a plain dict; ``"{}"`` = no injection)
+    faults: str = "{}"
     #: explicit extra specs appended after the grid (escape hatch for
     #: irregular sweeps that still want the runner/persistence machinery)
     extra_specs: Tuple[ExperimentSpec, ...] = field(default_factory=tuple)
@@ -206,6 +247,7 @@ class ExperimentPlan:
             if not isinstance(value, tuple):
                 object.__setattr__(self, name, tuple(value))
         object.__setattr__(self, "params", _canonical_params(self.params))
+        object.__setattr__(self, "faults", _canonical_faults(self.faults))
 
     def specs(self) -> List[ExperimentSpec]:
         """Expand the grid into the ordered list of specs to run."""
@@ -225,6 +267,7 @@ class ExperimentPlan:
                 trace=self.trace,
                 params=self.params,
                 backend=self.backend,
+                faults=self.faults,
             )
             for n in self.ns
             for protocol in self.protocols
@@ -253,6 +296,7 @@ class ExperimentPlan:
     def to_dict(self) -> Dict[str, object]:
         data = asdict(self)
         data["params"] = json.loads(self.params)
+        data["faults"] = json.loads(self.faults)
         data["extra_specs"] = [spec.to_dict() for spec in self.extra_specs]
         return data
 

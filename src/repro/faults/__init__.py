@@ -1,0 +1,413 @@
+"""Fault injection — churn, message loss, partitions and delay classes.
+
+The paper proves AER's guarantees for static membership over reliable (if
+adversarially delayed) links; this subsystem measures where those guarantees
+degrade empirically.  A :class:`FaultSchedule` rides on an
+:class:`~repro.experiments.plan.ExperimentSpec` (the ``faults`` field,
+canonical JSON text, default ``"{}"``) and describes four fault families:
+
+* **churn** — crash-recovery of correct nodes: at every integer time
+  boundary (synchronous round start / asynchronous unit-time step) each
+  *up* correct node crashes with probability ``churn_rate`` and each *down*
+  node recovers with probability ``recovery_rate``.  A down node neither
+  acts nor receives (deliveries to it are dropped); it keeps its state and
+  resumes on recovery — the crash-recovery model of the related work.
+* **message loss** — every delivery is dropped i.i.d. with probability
+  ``loss_rate`` (links stay FIFO-less and memoryless, the gossip-under-loss
+  model).
+* **partitions** — during each ``{"start", "end", "fraction"}`` window the
+  population is cut into two sides (ids below ``fraction·n`` vs the rest)
+  and cross-side deliveries are dropped; the cut heals at ``end``.  The
+  side assignment is a pure function of the id, so partitions consume no
+  randomness.
+* **delay classes** (asynchronous mode only) — mixed populations: a
+  ``slow_fraction`` of correct senders get their drawn delays multiplied by
+  ``slow_factor`` and Byzantine senders by ``byzantine_factor`` (< 1 models
+  the fast-Byzantine/slow-correct race), re-clamped into the model's
+  ``(0, 1]`` window.
+
+Determinism contract: a :class:`FaultInjector` draws **all** of its
+randomness from dedicated streams (``derive_rng(seed, "faults", ...)``)
+that no other component touches, so a disabled schedule — the default — is
+*byte-identical* to a run without the subsystem (the golden matrix is the
+oracle), and a given schedule is reproducible from the spec's seed alone.
+The disabled path is a single ``is None`` check at each hook site.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.net.rng import derive_rng
+
+__all__ = ["PartitionWindow", "FaultSchedule", "FaultInjector", "injector_for_spec"]
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """One partition episode: a two-sided cut active on ``[start, end)``.
+
+    ``fraction`` fixes the cut point: ids below ``fraction * n`` form side A,
+    the rest side B; messages crossing sides while the window is active are
+    dropped, and the cut heals (deliveries resume) at ``end``.  Times are
+    scheduler times — round numbers under the synchronous scheduler,
+    normalized delay units under the asynchronous one.
+    """
+
+    start: float
+    end: float
+    fraction: float = 0.5
+
+    def validate(self) -> None:
+        if not 0 <= self.start < self.end:
+            raise ValueError(
+                f"fault key 'partitions': require 0 <= start < end "
+                f"(got start={self.start}, end={self.end})"
+            )
+        if not 0.0 < self.fraction < 1.0:
+            raise ValueError(
+                f"fault key 'partitions': fraction must lie in (0, 1) "
+                f"(got {self.fraction})"
+            )
+
+    def to_dict(self) -> Dict[str, float]:
+        return {"start": self.start, "end": self.end, "fraction": self.fraction}
+
+    @staticmethod
+    def from_dict(data: Mapping[str, object]) -> "PartitionWindow":
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"fault key 'partitions': each window must be a mapping with "
+                f"keys start/end/fraction, got {data!r}"
+            )
+        known = {f.name for f in fields(PartitionWindow)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"fault key 'partitions': unknown window key(s) "
+                f"{', '.join(unknown)} (known: {', '.join(sorted(known))})"
+            )
+        if "start" not in data or "end" not in data:
+            raise ValueError(
+                "fault key 'partitions': each window needs 'start' and 'end'"
+            )
+        window = PartitionWindow(
+            start=float(data["start"]),  # type: ignore[arg-type]
+            end=float(data["end"]),  # type: ignore[arg-type]
+            fraction=float(data.get("fraction", 0.5)),  # type: ignore[arg-type]
+        )
+        window.validate()
+        return window
+
+
+#: value-range validators per scalar schedule knob; each message names the
+#: offending key so spec validation errors are actionable
+_RANGES = {
+    "loss_rate": (lambda v: 0.0 <= v < 1.0, "must lie in [0, 1)"),
+    "churn_rate": (lambda v: 0.0 <= v < 1.0, "must lie in [0, 1)"),
+    "recovery_rate": (lambda v: 0.0 <= v <= 1.0, "must lie in [0, 1]"),
+    "churn_start": (lambda v: v >= 0.0, "must be >= 0"),
+    "slow_fraction": (lambda v: 0.0 <= v <= 1.0, "must lie in [0, 1]"),
+    "slow_factor": (lambda v: v >= 1.0, "must be >= 1 (slow means slower)"),
+    "byzantine_factor": (lambda v: v > 0.0, "must be > 0"),
+}
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Declarative description of every fault a run injects (default: none).
+
+    Attached to a spec as canonical JSON (``ExperimentSpec.faults``); the
+    all-defaults schedule is a no-op and builds **no** injector, so the
+    fault-free path stays byte-identical to a build without this subsystem.
+    """
+
+    #: i.i.d. per-delivery drop probability, in [0, 1)
+    loss_rate: float = 0.0
+    #: per-up-correct-node crash probability at each integer time boundary
+    churn_rate: float = 0.0
+    #: per-down-node recovery probability at each integer time boundary
+    recovery_rate: float = 0.5
+    #: boundaries strictly before this time do not churn
+    churn_start: float = 0.0
+    #: partition episodes (two-sided cuts with heal times)
+    partitions: Tuple[PartitionWindow, ...] = ()
+    #: fraction of correct nodes in the slow delay class (async only)
+    slow_fraction: float = 0.0
+    #: delay multiplier for slow-class correct senders (>= 1; async only)
+    slow_factor: float = 1.0
+    #: delay multiplier for Byzantine senders (> 0; < 1 is fast-Byzantine)
+    byzantine_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.partitions, tuple):
+            object.__setattr__(self, "partitions", tuple(self.partitions))
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise ``ValueError`` naming the offending key on a bad knob."""
+        for name, (check, message) in _RANGES.items():
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(f"fault key {name!r} must be a number, got {value!r}")
+            if not check(float(value)):
+                raise ValueError(f"fault key {name!r} {message} (got {value})")
+        for window in self.partitions:
+            window.validate()
+        if self.churn_rate == 0.0 and self.churn_start != 0.0:
+            raise ValueError(
+                "fault key 'churn_start' is set but 'churn_rate' is 0 "
+                "(churn_start only applies when churn is enabled)"
+            )
+
+    @property
+    def is_noop(self) -> bool:
+        """True when this schedule injects nothing (the all-defaults case)."""
+        return self == FaultSchedule()
+
+    @property
+    def has_delay_classes(self) -> bool:
+        """Whether any sender's delays are rescaled (async-only knobs)."""
+        return (
+            self.slow_fraction > 0.0 and self.slow_factor != 1.0
+        ) or self.byzantine_factor != 1.0
+
+    def validate_for_mode(self, mode: str) -> None:
+        """Reject mode/knob combinations that cannot mean anything."""
+        if mode == "sync" and self.has_delay_classes:
+            raise ValueError(
+                "fault key 'slow_fraction'/'slow_factor'/'byzantine_factor': "
+                "delay classes rescale asynchronous delays and only apply to "
+                "mode='async'"
+            )
+
+    # ------------------------------------------------------------------
+    # serialization (the spec's ``faults`` field round-trips through here)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain dict holding only the non-default knobs (canonical form)."""
+        default = FaultSchedule()
+        data: Dict[str, object] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value != getattr(default, f.name):
+                data[f.name] = value
+        if "partitions" in data:
+            data["partitions"] = [w.to_dict() for w in self.partitions]
+        return data
+
+    def to_json(self) -> str:
+        """Canonical JSON text (sorted keys, no whitespace, defaults omitted)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @staticmethod
+    def from_dict(data: Mapping[str, object]) -> "FaultSchedule":
+        if not isinstance(data, Mapping):
+            raise ValueError(f"fault schedule must be a mapping, got {data!r}")
+        data = dict(data)
+        known = {f.name for f in fields(FaultSchedule)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown fault key(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        if "partitions" in data:
+            windows = data["partitions"]
+            if not isinstance(windows, Sequence) or isinstance(windows, (str, bytes)):
+                raise ValueError(
+                    f"fault key 'partitions' must be a list of windows, "
+                    f"got {windows!r}"
+                )
+            data["partitions"] = tuple(
+                w if isinstance(w, PartitionWindow) else PartitionWindow.from_dict(w)
+                for w in windows
+            )
+        return FaultSchedule(**data)  # type: ignore[arg-type]
+
+    @staticmethod
+    def from_json(text: str) -> "FaultSchedule":
+        """Parse the spec-level canonical JSON spelling (``"{}"`` → no-op)."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"fault schedule is not valid JSON: {exc}") from None
+        return FaultSchedule.from_dict(data)
+
+    def with_(self, **changes) -> "FaultSchedule":
+        """Return a copy with the given knobs replaced."""
+        return replace(self, **changes)
+
+
+class FaultInjector:
+    """Runtime fault state for one run, driven by a :class:`FaultSchedule`.
+
+    Constructed per run by the protocol adapter (never for a no-op schedule)
+    and threaded through the :class:`~repro.net.kernel.EventKernel` into both
+    schedulers, which call the hooks below.  All randomness comes from
+    dedicated ``derive_rng(seed, "faults", ...)`` streams; the per-node churn
+    draws and the class assignment iterate correct ids in sorted order, so a
+    schedule is a pure function of ``(schedule, n, seed)``.
+    """
+
+    def __init__(self, schedule: FaultSchedule, n: int, seed: int = 0) -> None:
+        self.schedule = schedule
+        self.n = n
+        self._rng = derive_rng(seed, "faults")
+        self._class_rng = derive_rng(seed, "faults", "classes")
+        self._down: set = set()
+        #: last integer time boundary whose churn draws were made
+        self._boundary = 0
+        self._correct: Tuple[int, ...] = ()
+        self._byzantine: frozenset = frozenset()
+        self._slow: frozenset = frozenset()
+        #: active/ pending partition cuts as (start, end, first-side-B id)
+        self._partitions: Tuple[Tuple[float, float, int], ...] = tuple(
+            (w.start, w.end, int(w.fraction * n)) for w in schedule.partitions
+        )
+        self._trace = None
+        self.crashes = 0
+        self.recoveries = 0
+        self.dropped_loss = 0
+        self.dropped_partition = 0
+        self.dropped_down = 0
+
+    # ------------------------------------------------------------------
+    # wiring (called by the kernel at construction time)
+    # ------------------------------------------------------------------
+    def bind_population(self, correct_ids, byzantine_ids) -> None:
+        """Attach the run's identity partition and draw the delay classes."""
+        self._correct = tuple(sorted(correct_ids))
+        self._byzantine = frozenset(byzantine_ids)
+        schedule = self.schedule
+        if schedule.slow_fraction > 0.0 and self._correct:
+            count = round(schedule.slow_fraction * len(self._correct))
+            self._slow = frozenset(self._class_rng.sample(self._correct, count))
+
+    def bind_trace(self, trace) -> None:
+        """Attach a :class:`~repro.trace.collector.TraceCollector` (optional)."""
+        self._trace = trace
+
+    # ------------------------------------------------------------------
+    # churn (both schedulers drive this through integer time boundaries)
+    # ------------------------------------------------------------------
+    def advance_time(self, time: float) -> None:
+        """Run the churn draws of every integer boundary reached by ``time``.
+
+        The synchronous scheduler calls this once per round (rounds *are*
+        the boundaries); the asynchronous one calls it with each event time,
+        and the loop catches up on however many unit boundaries the event
+        crossed — so churn has the same per-unit-time semantics under both
+        schedulers.
+        """
+        schedule = self.schedule
+        if schedule.churn_rate <= 0.0:
+            return
+        boundary = self._boundary
+        while boundary + 1 <= time:
+            boundary += 1
+            if boundary >= schedule.churn_start:
+                self._churn_step(boundary)
+        self._boundary = boundary
+
+    def _churn_step(self, boundary: int) -> None:
+        """One boundary's crash/recovery draws, in sorted correct-id order."""
+        schedule = self.schedule
+        rng = self._rng
+        down = self._down
+        trace = self._trace
+        for node in self._correct:
+            if node in down:
+                if rng.random() < schedule.recovery_rate:
+                    down.discard(node)
+                    self.recoveries += 1
+                    if trace is not None:
+                        trace.emit("fault_recovered", node=node, time=float(boundary))
+            elif rng.random() < schedule.churn_rate:
+                down.add(node)
+                self.crashes += 1
+                if trace is not None:
+                    trace.emit("fault_crashed", node=node, time=float(boundary))
+
+    def is_down(self, node_id: int) -> bool:
+        """Whether ``node_id`` is currently crashed."""
+        return node_id in self._down
+
+    # ------------------------------------------------------------------
+    # delivery filtering (the kernel / async event loop call per delivery)
+    # ------------------------------------------------------------------
+    def should_drop(self, sender: int, dest: int, time: float) -> bool:
+        """Decide the fate of one delivery; counts (and traces) any drop.
+
+        Check order is fixed — destination down, partition cut, random loss
+        — and only the loss check consumes randomness, so enabling a
+        partition does not shift the loss stream and vice versa.
+        """
+        if dest in self._down:
+            self.dropped_down += 1
+            if self._trace is not None:
+                self._trace.emit("fault_dropped", sender=sender, dest=dest, reason="down")
+            return True
+        for start, end, cut in self._partitions:
+            if start <= time < end and (sender < cut) != (dest < cut):
+                self.dropped_partition += 1
+                if self._trace is not None:
+                    self._trace.emit(
+                        "fault_dropped", sender=sender, dest=dest, reason="partition"
+                    )
+                return True
+        loss = self.schedule.loss_rate
+        if loss > 0.0 and self._rng.random() < loss:
+            self.dropped_loss += 1
+            if self._trace is not None:
+                self._trace.emit("fault_dropped", sender=sender, dest=dest, reason="loss")
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # delay classes (asynchronous scheduler only)
+    # ------------------------------------------------------------------
+    @property
+    def has_delay_classes(self) -> bool:
+        return self.schedule.has_delay_classes
+
+    def delay_scale(self, sender: int) -> float:
+        """Multiplier applied to ``sender``'s drawn delays (1.0 = untouched)."""
+        if sender in self._slow:
+            return self.schedule.slow_factor
+        if sender in self._byzantine:
+            return self.schedule.byzantine_factor
+        return 1.0
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def extras(self) -> Dict[str, object]:
+        """Injected-event counters for ``RunResult.extras`` (always JSON-safe)."""
+        return {
+            "fault_crashes": self.crashes,
+            "fault_recoveries": self.recoveries,
+            "fault_dropped_loss": self.dropped_loss,
+            "fault_dropped_partition": self.dropped_partition,
+            "fault_dropped_down": self.dropped_down,
+            "fault_slow_nodes": len(self._slow),
+        }
+
+
+def injector_for_spec(spec) -> Optional[FaultInjector]:
+    """Build the injector an :class:`~repro.experiments.plan.ExperimentSpec` asks for.
+
+    A no-op schedule — the default ``"{}"`` *and* any all-defaults spelling
+    such as an explicit ``{"loss_rate": 0.0}`` — returns ``None`` (the
+    byte-identical fault-free path); everything else gets a fresh injector
+    seeded from the spec.
+    """
+    schedule = FaultSchedule.from_json(getattr(spec, "faults", "{}"))
+    if schedule.is_noop:
+        return None
+    return FaultInjector(schedule, n=spec.n, seed=spec.seed)

@@ -121,6 +121,48 @@ class RandomDelayPolicy(DelayPolicy):
         return rng.uniform(self.low, self.high)
 
 
+@register_delay_policy("pareto")
+class ParetoDelayPolicy(DelayPolicy):
+    """Heavy-tailed delays: ``scale · (1-u)^(-1/alpha)``, truncated into ``(0, 1]``.
+
+    A Pareto(α) tail with minimum ``scale`` — most messages arrive around
+    ``scale`` but a polynomial tail straggles, and (with the defaults) about
+    ``scale^alpha`` of the mass saturates the model's normalized maximum of
+    1.0.  Smaller ``alpha`` means a heavier tail.
+    """
+
+    def __init__(self, alpha: float = 1.5, scale: float = 0.05) -> None:
+        if alpha <= 0.0:
+            raise ValueError("pareto alpha must be > 0")
+        if not MIN_DELAY <= scale <= 1.0:
+            raise ValueError("pareto scale must lie in [MIN_DELAY, 1.0]")
+        self.alpha = alpha
+        self.scale = scale
+
+    def delay(self, record: SendRecord, rng) -> float:
+        # inverse-CDF draw; 1 - random() is in (0, 1] so the power is finite
+        return min(1.0, self.scale * (1.0 - rng.random()) ** (-1.0 / self.alpha))
+
+
+@register_delay_policy("lognormal")
+class LogNormalDelayPolicy(DelayPolicy):
+    """Heavy-tailed delays: ``exp(N(mu, sigma))``, truncated into ``(0, 1]``.
+
+    The classic long-tailed latency model (median ``e^mu``, tail weight set
+    by ``sigma``); the defaults put the median near 0.14 with a few percent
+    of the mass saturating the normalized maximum of 1.0.
+    """
+
+    def __init__(self, mu: float = -2.0, sigma: float = 1.0) -> None:
+        if sigma <= 0.0:
+            raise ValueError("lognormal sigma must be > 0")
+        self.mu = mu
+        self.sigma = sigma
+
+    def delay(self, record: SendRecord, rng) -> float:
+        return min(1.0, max(MIN_DELAY, rng.lognormvariate(self.mu, self.sigma)))
+
+
 class AsynchronousSimulator(EventKernel):
     """Event-driven execution with adversary-controlled, bounded delays.
 
@@ -146,9 +188,11 @@ class AsynchronousSimulator(EventKernel):
         max_events: int = 2_000_000,
         size_model: Optional[SizeModel] = None,
         trace=None,
+        faults=None,
     ) -> None:
         super().__init__(
-            nodes, n, adversary=adversary, seed=seed, size_model=size_model, trace=trace
+            nodes, n, adversary=adversary, seed=seed, size_model=size_model,
+            trace=trace, faults=faults,
         )
         self.delay_policy = delay_policy or RandomDelayPolicy()
         self.max_time = max_time
@@ -172,12 +216,16 @@ class AsynchronousSimulator(EventKernel):
         # exactly ``a + (b - a) * random()``).
         self._uniform_fast = None
         self._constant_fast = None
-        if adversary is None:
+        has_delay_classes = faults is not None and faults.has_delay_classes
+        if adversary is None and not has_delay_classes:
             policy = self.delay_policy
             if type(policy) is RandomDelayPolicy:
                 self._uniform_fast = (policy.low, policy.high - policy.low)
             elif type(policy) is ConstantDelayPolicy:
                 self._constant_fast = policy.value
+        #: per-sender delay rescaling (mixed populations); forces every
+        #: dispatch through the per-message _schedule path when active
+        self._delay_classes = faults if has_delay_classes else None
 
     # ------------------------------------------------------------------
     # EventKernel interface (the scheduling policy)
@@ -272,6 +320,10 @@ class AsynchronousSimulator(EventKernel):
             if delay is None:
                 delay = self.delay_policy.delay(record, self._scheduler_rng)
             delay = min(1.0, max(MIN_DELAY, float(delay)))
+            if self._delay_classes is not None:
+                scale = self._delay_classes.delay_scale(sender)
+                if scale != 1.0:
+                    delay = min(1.0, max(MIN_DELAY, delay * scale))
 
         self._seq += 1
         arrival = self._time + delay
@@ -314,6 +366,7 @@ class AsynchronousSimulator(EventKernel):
         buckets = self._buckets
         adversary = self.adversary
         byzantine = self.byzantine_ids
+        faults = self.faults
         decided = self._decided
         limit = self._id_limit
         handler_list = self._handler_list
@@ -349,6 +402,14 @@ class AsynchronousSimulator(EventKernel):
             sender = event[2]
             dest = event[3]
             self._time = time
+            if faults is not None:
+                # churn boundaries are unit-time steps (same semantics as
+                # sync rounds); a vetoed event still counts against the
+                # event budget, like any other processed event
+                faults.advance_time(time)
+                if faults.should_drop(sender, dest, time):
+                    delivered += 1
+                    continue
             if 0 <= dest < limit:
                 recv_msgs[dest] += 1
                 recv_bits[dest] += event[5]

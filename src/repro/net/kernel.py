@@ -220,6 +220,14 @@ class EventKernel:
         in the kernel and the schedulers is a single ``is not None`` check
         per *grouped* dispatch record, and nothing else changes — the golden
         equivalence tests pin byte-identical results.
+    faults:
+        Optional :class:`~repro.faults.FaultInjector`.  ``None`` (the
+        default) is the same guaranteed-free contract as ``trace``: one
+        ``is not None`` check per delivery batch / event, byte-identical
+        results pinned by the golden matrix.  With an injector, deliveries
+        it vetoes (down destination, partition cut, random loss) are
+        silently dropped — dropped messages count as sent but never as
+        received.
     """
 
     def __init__(
@@ -230,6 +238,7 @@ class EventKernel:
         seed: int = 0,
         size_model: Optional[SizeModel] = None,
         trace: Optional[TraceCollector] = None,
+        faults=None,
     ) -> None:
         self.n = n
         self.seed = seed
@@ -254,6 +263,11 @@ class EventKernel:
         if trace is not None:
             trace.bind_population(self.correct_ids, self.byzantine_ids)
             trace.bind_clock(self.now)
+        self.faults = faults
+        if faults is not None:
+            faults.bind_population(self.correct_ids, self.byzantine_ids)
+            if trace is not None:
+                faults.bind_trace(trace)
         self._decided: Dict[int, bool] = {i: False for i in self.correct_ids}
         self._undecided_count = len(self.correct_ids)
 
@@ -313,6 +327,8 @@ class EventKernel:
     # ------------------------------------------------------------------
     def deliver(self, sender: int, dest: int, message: Message, bits: int) -> None:
         """Hand a message to its recipient (correct node or adversary)."""
+        if self.faults is not None and self.faults.should_drop(sender, dest, self.now()):
+            return
         self.metrics.record_delivery(dest, bits)
         node = self.nodes.get(dest)
         if node is not None:
@@ -363,8 +379,14 @@ class EventKernel:
         handlers = self._handler_list
         adversary = self.adversary
         byzantine = self.byzantine_ids
+        faults = self.faults
+        now = self.now() if faults is not None else 0.0
         spill: Optional[Dict[int, List[int]]] = None
         for sender, dests, message, bits in batch:
+            if faults is not None:
+                # injected drops: filter the fan-out before delivery (dropped
+                # messages were counted as sent, never as received)
+                dests = [d for d in dests if not faults.should_drop(sender, d, now)]
             for dest in dests:
                 if 0 <= dest < limit:
                     recv_msgs[dest] += 1

@@ -62,9 +62,11 @@ class SynchronousSimulator(EventKernel):
         min_rounds: int = 0,
         size_model: Optional[SizeModel] = None,
         trace=None,
+        faults=None,
     ) -> None:
         super().__init__(
-            nodes, n, adversary=adversary, seed=seed, size_model=size_model, trace=trace
+            nodes, n, adversary=adversary, seed=seed, size_model=size_model,
+            trace=trace, faults=faults,
         )
         self.rushing = rushing
         self.max_rounds = max_rounds
@@ -126,12 +128,24 @@ class SynchronousSimulator(EventKernel):
     def _advance_round(self) -> None:
         """Deliver last round's messages, then let correct nodes and the adversary act."""
         self._round += 1
+        faults = self.faults
+        if faults is not None:
+            # churn draws happen at the round boundary, before delivery: a
+            # node crashing at round r misses round r's inbox and its turn
+            faults.advance_time(float(self._round))
         inbox, self._outbox = self._outbox, []
         self.deliver_batch(inbox)
 
-        for node_id in self.correct_ids:
-            self.nodes[node_id].on_round(self._round)
-            self.note_decisions(node_id)
+        if faults is None:
+            for node_id in self.correct_ids:
+                self.nodes[node_id].on_round(self._round)
+                self.note_decisions(node_id)
+        else:
+            for node_id in self.correct_ids:
+                if faults.is_down(node_id):
+                    continue
+                self.nodes[node_id].on_round(self._round)
+                self.note_decisions(node_id)
 
         self._adversary_turn(round_no=self._round, starting=False)
 

@@ -255,6 +255,11 @@ class ProtocolAdapter:
         combining ``backend="vectorized"`` with async mode, rushing or
         tracing, none of which the vectorized engines implement — are
         rejected by :meth:`validate` rather than silently falling back.
+    ``supports_faults``
+        Whether the adapter honours the spec-level ``faults`` knob (builds a
+        :class:`~repro.faults.FaultInjector` and threads it through the
+        scheduler).  Adapters that do not are rejected by :meth:`validate`
+        for a non-empty schedule rather than silently running fault-free.
     """
 
     name: str = ""
@@ -263,6 +268,7 @@ class ProtocolAdapter:
     modes: Tuple[str, ...] = ("sync",)
     supports_trace: bool = False
     supports_backends: Tuple[str, ...] = ("message",)
+    supports_faults: bool = False
 
     #: spec knob fields that route into the protocol parameter space; their
     #: spec-level defaults, used to detect "was this knob actually set?"
@@ -302,6 +308,17 @@ class ProtocolAdapter:
                 f"protocol {self.name!r} does not support backend "
                 f"{spec.backend!r} (supported: {', '.join(self.supports_backends)})"
             )
+        if spec.faults != "{}":
+            if not self.supports_faults:
+                raise ValueError(
+                    f"protocol {self.name!r} does not support fault injection "
+                    f"(got faults={spec.faults}; only an empty schedule is accepted)"
+                )
+            if spec.backend == "vectorized":
+                raise ValueError(
+                    "backend='vectorized' does not implement fault injection; "
+                    "use backend='message' for faulted runs"
+                )
         if spec.backend == "vectorized":
             if spec.mode != "sync":
                 raise ValueError(
@@ -351,6 +368,8 @@ class ProtocolAdapter:
             changes["trace"] = "off"
         if spec.backend not in self.supports_backends:
             changes["backend"] = "message"
+        if spec.faults != "{}" and not self.supports_faults:
+            changes["faults"] = "{}"
         kept_params = {
             key: value for key, value in spec.params_dict().items() if key in self.params
         }

@@ -22,6 +22,7 @@ from typing import Dict, Optional
 from repro.core.ba import BAConfig, BAProtocol
 from repro.core.config import AERConfig
 from repro.core.scenario import AERScenario
+from repro.faults import injector_for_spec
 from repro.net.asynchronous import DelayPolicy, make_delay_policy
 from repro.net.results import SimulationResult
 from repro.protocols.base import ProtocolAdapter, RunResult, register_protocol
@@ -54,6 +55,7 @@ class AERProtocolAdapter(ProtocolAdapter):
     modes = ("sync", "async")
     supports_trace = True
     supports_backends = ("message", "vectorized")
+    supports_faults = True
     params = {
         "adversary": "none",
         "mode": "sync",
@@ -132,6 +134,7 @@ class AERProtocolAdapter(ProtocolAdapter):
         trace = collector_for_spec(spec)
         if trace is not None:
             trace.mark_string("gstring", scenario.gstring)
+        faults = injector_for_spec(spec)
         result = run_aer(
             scenario,
             config=config,
@@ -143,8 +146,11 @@ class AERProtocolAdapter(ProtocolAdapter):
             delay_policy=_resolve_delay_policy(p),
             samplers=samplers,
             trace=trace,
+            faults=faults,
         )
         extras = _gstring_extras(result, scenario)
+        if faults is not None:
+            extras.update(faults.extras())
         if trace is not None:
             # Adversary-side counters (e.g. the quorum-flood attack's forced
             # strings, the Lemma 4 comparison column) ride along when traced.

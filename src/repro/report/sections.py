@@ -963,6 +963,119 @@ class AdversaryMatrixSection(ReportSection):
 
 
 # ----------------------------------------------------------------------
+# Degraded networks — the fault-injection frontier (PR 8)
+# ----------------------------------------------------------------------
+@register_report_section
+class DegradedNetworksSection(ReportSection):
+    """Agreement under message loss, churn and heavy-tailed delays."""
+
+    name = "degraded_networks"
+    title = "Degraded networks — loss, churn and heavy-tailed delays"
+    claim = (
+        "The paper's guarantees assume reliable (if adversarially scheduled) "
+        "delivery.  This grid measures how AER degrades when that assumption "
+        "is broken by injected faults: probabilistic message loss and "
+        "crash-recovery churn under the synchronous scheduler, and message "
+        "loss combined with heavy-tailed (Pareto, lognormal) delay families "
+        "under the asynchronous one.  The fault layer is off by default and "
+        "provably free when off (the golden matrix is the oracle)."
+    )
+    benchmark = "benchmarks/bench_degraded_networks.py"
+    order = 72
+
+    #: (loss_rate, churn_rate) grid for the synchronous half
+    SYNC_GRID = ((0.0, 0.0), (0.05, 0.0), (0.15, 0.0), (0.0, 0.02), (0.05, 0.02))
+    #: (delay_policy, loss_rate) grid for the asynchronous half
+    ASYNC_GRID = (
+        ("random", 0.0), ("random", 0.1),
+        ("pareto", 0.0), ("pareto", 0.1),
+        ("lognormal", 0.0), ("lognormal", 0.1),
+    )
+
+    def plan_for(self, n: int, seeds: Sequence[int]) -> ExperimentPlan:
+        specs = []
+        for seed in seeds:
+            for loss, churn in self.SYNC_GRID:
+                faults: Dict[str, object] = {}
+                if loss:
+                    faults["loss_rate"] = loss
+                if churn:
+                    faults["churn_rate"] = churn
+                specs.append(
+                    ExperimentSpec(
+                        n=n, mode="sync", seed=seed, faults=faults,
+                        label="degraded_networks",
+                    )
+                )
+            for policy, loss in self.ASYNC_GRID:
+                specs.append(
+                    ExperimentSpec(
+                        n=n, mode="async", seed=seed,
+                        params={"delay_policy": policy} if policy != "random" else {},
+                        faults={"loss_rate": loss} if loss else {},
+                        label="degraded_networks",
+                    )
+                )
+        return ExperimentPlan(ns=(), extra_specs=tuple(specs))
+
+    def plan(self, quick: bool = True) -> ExperimentPlan:
+        if quick:
+            return self.plan_for(32, seeds=(0, 1))
+        return self.plan_for(64, seeds=(0, 1, 2))
+
+    @staticmethod
+    def _fault_label(spec: ExperimentSpec) -> str:
+        faults = spec.faults_dict()
+        if not faults:
+            return "none"
+        parts = []
+        for key in ("loss_rate", "churn_rate"):
+            if key in faults:
+                parts.append(f"{key.split('_')[0]}={faults[key]}")
+        return ",".join(parts) if parts else "custom"
+
+    def record_row(self, record: ExperimentRecord) -> Dict[str, object]:
+        spec = record.spec
+        time = record.rounds if record.rounds is not None else record.span
+        delay = dict(spec.params_dict()).get("delay_policy") or (
+            "random" if spec.mode == "async" else "-"
+        )
+        return {
+            "mode": spec.mode,
+            "delay": delay,
+            "faults": self._fault_label(spec),
+            "n": spec.n,
+            "seed": spec.seed,
+            "agreement": int(record.agreement),
+            "decided_fraction": round(record.decided_fraction, 4),
+            "time": _round_opt(time),
+            "amortized_bits": round(record.amortized_bits, 1),
+        }
+
+    group_by = ("mode", "delay", "faults", "n")
+    ci_columns = ("time", "amortized_bits", "decided_fraction")
+    rate_columns = ("agreement",)
+
+    def commentary(self, records: Sequence[ExperimentRecord]) -> List[str]:
+        clean = [r for r in records if not r.spec.faults_dict()]
+        faulted = [r for r in records if r.spec.faults_dict()]
+        remarks = [
+            f"Fault-free baseline: {self.agreement_summary(clean)}.",
+            f"Under injected faults: {self.agreement_summary(faulted)}.",
+        ]
+        degraded = sorted(
+            {self._fault_label(r.spec) for r in faulted if not r.agreement}
+        )
+        if degraded:
+            remarks.append(
+                "Schedules with at least one non-agreement run: "
+                f"{', '.join(degraded)} — AER has no retransmission layer, "
+                "so sustained loss or churn directly erodes quorum coverage."
+            )
+        return remarks
+
+
+# ----------------------------------------------------------------------
 # Property 2 — expansion of the poll-list sampler J
 # ----------------------------------------------------------------------
 @register_report_section
@@ -1311,6 +1424,7 @@ LEMMA8: Lemma8Section = _get("lemma8")  # type: ignore[assignment]
 LEMMA10: Lemma10Section = _get("lemma10")  # type: ignore[assignment]
 PROPERTY2: Property2Section = _get("property2")  # type: ignore[assignment]
 ADVERSARY_MATRIX: AdversaryMatrixSection = _get("adversary_matrix")  # type: ignore[assignment]
+DEGRADED_NETWORKS: DegradedNetworksSection = _get("degraded_networks")  # type: ignore[assignment]
 ABLATION_FILTERS: AblationFiltersSection = _get("ablation_filters")  # type: ignore[assignment]
 ABLATION_QUORUM: AblationQuorumSection = _get("ablation_quorum")  # type: ignore[assignment]
 ABLATION_SCHEDULER: AblationSchedulerSection = _get("ablation_scheduler")  # type: ignore[assignment]

@@ -51,6 +51,7 @@ def run_aer(
     samplers: Optional[SamplerSuite] = None,
     trace=None,
     backend: str = "message",
+    faults=None,
 ) -> SimulationResult:
     """Run AER on a scenario and return the simulation result.
 
@@ -78,12 +79,20 @@ def run_aer(
         ``"vectorized"`` (the whole-round numpy engine of
         :mod:`repro.vec` — sync-only, non-rushing, untraced, adversary
         resolved by name).
+    faults:
+        Optional :class:`~repro.faults.FaultInjector`, threaded into the
+        scheduler; ``None`` (default) is the zero-cost fault-free path.
     """
     if config is None:
         config = AERConfig.for_system(scenario.n)
     if backend == "vectorized":
         from repro.vec.engine import run_aer_vectorized
 
+        if faults is not None:
+            raise ValueError(
+                "backend='vectorized' does not implement fault injection; "
+                "use backend='message' for faulted runs"
+            )
         if mode != "sync":
             raise ValueError("backend='vectorized' is synchronous only")
         if rushing:
@@ -124,6 +133,7 @@ def run_aer(
             min_rounds=min_rounds,
             size_model=config.size_model(),
             trace=trace,
+            faults=faults,
         )
     elif mode == "async":
         simulator = AsynchronousSimulator(
@@ -134,6 +144,7 @@ def run_aer(
             delay_policy=delay_policy,
             size_model=config.size_model(),
             trace=trace,
+            faults=faults,
         )
     else:
         raise ValueError(f"unknown mode {mode!r} (expected 'sync' or 'async')")
@@ -153,6 +164,7 @@ def run_aer_experiment(
     delay_policy: Optional[DelayPolicy] = None,
     max_rounds: int = 64,
     backend: str = "message",
+    faults=None,
 ) -> SimulationResult:
     """One-call experiment: synthesise a scenario, pick an adversary, run AER.
 
@@ -190,6 +202,7 @@ def run_aer_experiment(
             seed=seed,
             max_rounds=max_rounds,
             backend=backend,
+            faults=faults,
         )
     samplers = config.shared_samplers()
     adversary = make_adversary(adversary_name, scenario, config, samplers)
@@ -204,4 +217,5 @@ def run_aer_experiment(
         delay_policy=delay_policy,
         samplers=samplers,
         backend=backend,
+        faults=faults,
     )

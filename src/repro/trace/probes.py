@@ -31,6 +31,12 @@ The built-in probe points and who emits them:
 ``message_dispatched`` the event kernel — a (multicast) send entered the
                      network, with its kind and per-message bit cost
 ``node_decided``     the event kernel — a correct node decided
+``fault_crashed``    :class:`~repro.faults.FaultInjector` — churn crashed a
+                     correct node at a time boundary
+``fault_recovered``  :class:`~repro.faults.FaultInjector` — a crashed node
+                     recovered (crash-recovery churn)
+``fault_dropped``    :class:`~repro.faults.FaultInjector` — a delivery was
+                     vetoed (``reason`` is ``down``/``partition``/``loss``)
 =================== ======================================================
 
 Custom engines may emit any of these through
@@ -101,5 +107,9 @@ for _probe in (
     ProbePoint("message_dispatched", "a (multicast) send entered the network",
                ("sender", "kind", "count", "bits")),
     ProbePoint("node_decided", "a correct node decided", ("node", "time")),
+    ProbePoint("fault_crashed", "churn crashed a correct node", ("node", "time")),
+    ProbePoint("fault_recovered", "a crashed node recovered", ("node", "time")),
+    ProbePoint("fault_dropped", "fault injection vetoed a delivery",
+               ("sender", "dest", "reason")),
 ):
     register_probe(_probe)

@@ -29,6 +29,10 @@ from repro.runner import run_aer_experiment
 GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "engine_golden.json"
 GOLDEN = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
 
+#: legacy positional-key cases vs PR-8 fault cases (these carry a "spec" dict)
+LEGACY_CASES = sorted(k for k, v in GOLDEN.items() if "spec" not in v)
+FAULT_CASES = sorted(k for k, v in GOLDEN.items() if "spec" in v)
+
 
 def _parse_case(key: str):
     mode_part, adversary, n_part, seed_part = key.split(":")
@@ -37,7 +41,7 @@ def _parse_case(key: str):
     return mode, rushing, adversary, int(n_part[1:]), int(seed_part[1:])
 
 
-@pytest.mark.parametrize("case_key", sorted(GOLDEN), ids=sorted(GOLDEN))
+@pytest.mark.parametrize("case_key", LEGACY_CASES, ids=LEGACY_CASES)
 def test_engine_reproduces_golden_case(case_key):
     mode, rushing, adversary, n, seed = _parse_case(case_key)
     expected = GOLDEN[case_key]
@@ -58,6 +62,58 @@ def test_engine_reproduces_golden_case(case_key):
     assert {
         str(i): t for i, t in result.metrics.decision_times.items()
     } == expected["decision_times"]
+
+
+@pytest.mark.parametrize("case_key", FAULT_CASES, ids=FAULT_CASES)
+def test_engine_reproduces_golden_fault_case(case_key):
+    """The fault-injection cases (churn, loss, partition-heal) are pinned too.
+
+    Each entry stores its full spec dict, so the case round-trips through
+    ``ExperimentSpec.from_dict`` — exercising the canonical ``faults``
+    spelling — before running on the message kernel.
+    """
+    expected = GOLDEN[case_key]
+    spec = ExperimentSpec.from_dict(expected["spec"])
+    result = spec.run()
+    raw = result.raw
+
+    assert spec.to_dict() == expected["spec"]
+    assert {str(i): v for i, v in raw.decisions.items()} == expected["decisions"]
+    assert result.rounds == expected["rounds"]
+    assert result.span == expected["span"]
+    assert result.decided_count == expected["decided_count"]
+    assert result.agreement == expected["agreement"]
+    assert result.total_messages == expected["total_messages"]
+    assert result.total_bits == expected["total_bits"]
+    assert result.max_node_bits == expected["max_node_bits"]
+    assert {
+        str(i): t for i, t in raw.metrics.decision_times.items()
+    } == expected["decision_times"]
+    fault_extras = {
+        k: v for k, v in result.extras.items() if k.startswith("fault_")
+    }
+    assert fault_extras == expected["extras"]
+
+
+@pytest.mark.parametrize("mode", ["sync", "async"])
+def test_faults_off_equals_plain(mode):
+    """An empty fault schedule must be byte-identical to no schedule at all.
+
+    Mirrors the trace-off equality test: every no-op spelling of ``faults``
+    collapses to ``"{}"`` at spec construction, no injector is built, and
+    every normalized field of the result agrees exactly with the plain run.
+    """
+    base = ExperimentSpec(n=128, adversary="none", mode=mode, seed=2)
+    plain = base.run()
+    faulted_off = base.with_(
+        faults={"loss_rate": 0.0, "churn_rate": 0.0, "slow_factor": 1.0}
+    ).run()
+
+    assert base.with_(faults={}) == base
+    for field in fields(type(plain)):
+        if field.name in ("trace", "raw"):
+            continue
+        assert getattr(faulted_off, field.name) == getattr(plain, field.name), field.name
 
 
 def test_trace_summary_equals_off_async_n256():

@@ -81,7 +81,8 @@ def test_builtin_sections_registered_in_document_order():
     assert names == [
         "figure1a", "figure1a_scale", "figure1b", "lemma3", "lemma4", "lemma5",
         "lemma6", "lemma7", "lemma8", "lemma10", "property2", "adversary_matrix",
-        "ablation_filters", "ablation_quorum", "ablation_scheduler",
+        "degraded_networks", "ablation_filters", "ablation_quorum",
+        "ablation_scheduler",
     ]
 
 

@@ -318,6 +318,75 @@ class TestCLI:
         assert cli_main(["store", "stats", "--store", str(bad)]) == 2
         assert "delete the file" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("content", ["", '[{"records": [{"trunc'])
+    def test_resume_tolerates_empty_and_truncated_files(
+        self, tmp_path, capsys, content
+    ):
+        """An interrupted sweep's partial file seeds 0 records, not an abort."""
+        partial = tmp_path / "partial.json"
+        partial.write_text(content, encoding="utf-8")
+        assert cli_main(
+            [*self.SWEEP_ARGS, "--no-store", "--resume", str(partial)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "seeding 0/1 records" in captured.err
+        assert "resume: seeding 0/1 records" in captured.out
+        # the finished sweep replaces the corrupt file (resume doubles as out)
+        data = json.loads(partial.read_text(encoding="utf-8"))
+        assert len(data["records"]) == 1
+        # and resuming from the repaired file now seeds normally
+        capsys.readouterr()
+        executed_before = RUN_COUNTER["executed"]
+        assert cli_main(
+            [*self.SWEEP_ARGS, "--no-store", "--resume", str(partial)]
+        ) == 0
+        assert RUN_COUNTER["executed"] == executed_before
+        assert "resume: seeding 1/1 records" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# faulted specs: keying, store round-trip, resume with fault metadata
+# ----------------------------------------------------------------------
+class TestFaultedSpecs:
+    FAULTS = {"loss_rate": 0.1, "churn_rate": 0.05}
+
+    def test_fault_schedule_participates_in_the_key(self):
+        base = ExperimentSpec(n=24, seed=3)
+        faulted = base.with_(faults=self.FAULTS)
+        assert spec_key(faulted) != spec_key(base)
+        assert spec_key(faulted) != spec_key(
+            base.with_(faults={"loss_rate": 0.2, "churn_rate": 0.05})
+        )
+        # equivalent spellings of one schedule are one key (a store hit)
+        assert spec_key(faulted) == spec_key(
+            base.with_(faults='{"churn_rate":0.05,"loss_rate":0.1}')
+        )
+
+    def test_store_hit_miss_across_schedule_change(self, store):
+        spec = ExperimentSpec(n=24, seed=3, faults=self.FAULTS)
+        record = execute_spec(spec)
+        store.put(record)
+        assert store.get(spec) == record
+        assert store.get(spec.with_(faults={"loss_rate": 0.2})) is None
+        assert store.get(spec.with_(faults={})) is None
+
+    def test_resume_roundtrips_fault_metadata(self, tmp_path):
+        plan = ExperimentPlan(ns=(24,), seeds=(3,), faults=self.FAULTS)
+        out = tmp_path / "faulted.json"
+        complete = SweepRunner(plan, jobs=1).run()
+        complete.save(str(out))
+        loaded = SweepResult.load_records(str(out))
+        assert [r.spec for r in loaded] == [r.spec for r in complete.records]
+        assert loaded[0].spec.faults_dict() == self.FAULTS
+        assert loaded[0].extras["fault_dropped_loss"] > 0
+        # the loaded records seed a resume: zero fresh executions
+        executed_before = RUN_COUNTER["executed"]
+        resumed = SweepRunner(plan, jobs=1).run(
+            seed_records={spec_key(r.spec): r for r in loaded}
+        )
+        assert RUN_COUNTER["executed"] == executed_before
+        assert resumed.records == complete.records
+
 
 # ----------------------------------------------------------------------
 # result-file compatibility
