@@ -45,10 +45,18 @@ from repro.faults import (
     PartitionWindow,
     injector_for_spec,
 )
+from repro.dist import (
+    DistCoordinator,
+    DistributedSweepError,
+    active_coordinators,
+    run_distributed_sweep,
+    run_worker,
+)
 from repro.experiments.sweep import (
     ExperimentRecord,
     SweepResult,
     SweepRunner,
+    WorkerCrashedError,
     WorkerPool,
     execute_spec,
     run_sweep,
@@ -117,6 +125,10 @@ __all__ = [
     # orchestration
     "ExperimentSpec", "ExperimentPlan", "ExperimentRecord",
     "SweepRunner", "SweepResult", "WorkerPool", "run_sweep", "execute_spec",
+    "WorkerCrashedError",
+    # distributed execution
+    "DistCoordinator", "DistributedSweepError", "run_distributed_sweep",
+    "run_worker", "active_coordinators",
     # result store and experiment service
     "ResultStore", "StoreError", "spec_key", "plan_key", "code_fingerprint",
     "default_store_path", "Job", "JobManager", "create_app", "fastapi_available",

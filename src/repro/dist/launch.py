@@ -1,0 +1,178 @@
+"""Localhost orchestration: one coordinator plus N workers, supervised.
+
+:func:`run_distributed_sweep` is what ``python -m repro sweep
+--distributed N`` calls: it starts a :class:`~repro.dist.coordinator.
+DistCoordinator` on an ephemeral port, launches ``N`` worker subprocesses
+(``python -m repro dist-worker``) against it, supervises them (a dead
+worker whose shards still matter is respawned — its lease expires and the
+shard is re-issued), and reassembles the plan-ordered
+:class:`~repro.experiments.sweep.SweepResult`.
+
+``in_process=True`` swaps subprocesses for threads running the same
+:func:`~repro.dist.worker.run_worker` loop over the same TCP socket —
+identical protocol traffic, but cheap enough for unit tests and coverage.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+from typing import Callable, List, Mapping, Optional, TYPE_CHECKING
+
+import repro
+from repro.dist.board import DEFAULT_LEASE_TIMEOUT
+from repro.dist.coordinator import DistCoordinator
+from repro.dist.worker import run_worker
+from repro.experiments.plan import ExperimentPlan
+from repro.experiments.sweep import ExperimentRecord, SweepResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store import ResultStore
+
+
+class DistributedSweepError(RuntimeError):
+    """A distributed sweep cannot make progress (workers kept dying)."""
+
+
+def spawn_worker(
+    address: str,
+    index: int = 0,
+    poll: float = 0.2,
+    fingerprint: Optional[str] = None,
+) -> subprocess.Popen:
+    """Launch one ``python -m repro dist-worker`` subprocess.
+
+    The child inherits our environment with the ``repro`` package's parent
+    directory prepended to ``PYTHONPATH`` (so a source checkout works
+    without installation) and — when given — the coordinator's fingerprint
+    pinned via ``REPRO_CODE_FINGERPRINT`` so the handshake cannot flap on
+    a dirty working tree.
+    """
+    env = dict(os.environ)
+    package_parent = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    parts = [package_parent] + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+    env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(parts))
+    if fingerprint is not None:
+        env["REPRO_CODE_FINGERPRINT"] = fingerprint
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "dist-worker",
+            address,
+            "--poll",
+            str(poll),
+            "--id",
+            f"dist-w{index}",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,  # worker chatter; stderr stays visible
+    )
+
+
+def run_distributed_sweep(
+    plan: ExperimentPlan,
+    workers: int = 2,
+    store: Optional["ResultStore"] = None,
+    seed_records: Optional[Mapping[str, ExperimentRecord]] = None,
+    lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    worker_poll: float = 0.2,
+    on_record: Optional[Callable[[int, ExperimentRecord, bool], None]] = None,
+    in_process: bool = False,
+    max_respawns: Optional[int] = None,
+) -> SweepResult:
+    """Run ``plan`` through a coordinator and ``workers`` local workers.
+
+    Store and resume hits are served before any worker starts; a fully
+    warm plan launches zero workers.  Worker subprocesses that die are
+    respawned (bounded by ``max_respawns``, default ``workers``) as long
+    as unfinished shards remain; if every worker is dead and the respawn
+    budget is spent, raises :class:`DistributedSweepError` instead of
+    hanging.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    coordinator = DistCoordinator(
+        plan,
+        store=store,
+        seed_records=seed_records,
+        lease_timeout=lease_timeout,
+        host=host,
+        port=port,
+        on_record=on_record,
+    )
+    procs: List[subprocess.Popen] = []
+    threads: List[threading.Thread] = []
+    try:
+        if coordinator.board.finished:
+            # Every record came from the store/resume file: no server, no
+            # workers, and jobs=1 so the result matches a serial warm run.
+            return coordinator.result(timeout=0.1, jobs=1)
+        bind_host, bind_port = coordinator.start()
+        address = f"{bind_host}:{bind_port}"
+        if in_process:
+            for index in range(workers):
+                thread = threading.Thread(
+                    target=run_worker,
+                    args=(address,),
+                    kwargs={
+                        "worker_id": f"dist-t{index}",
+                        "fingerprint": coordinator.fingerprint,
+                        "poll_interval": worker_poll,
+                    },
+                    name=f"repro-dist-worker-{index}",
+                    daemon=True,
+                )
+                thread.start()
+                threads.append(thread)
+            coordinator.wait()
+        else:
+            respawn_budget = workers if max_respawns is None else max_respawns
+            spawned = 0
+            for index in range(workers):
+                procs.append(
+                    spawn_worker(
+                        address,
+                        index=spawned,
+                        poll=worker_poll,
+                        fingerprint=coordinator.fingerprint,
+                    )
+                )
+                spawned += 1
+            while not coordinator.wait(timeout=0.1):
+                live = [p for p in procs if p.poll() is None]
+                if live:
+                    continue
+                if respawn_budget <= 0:
+                    exitcodes = sorted({p.returncode for p in procs})
+                    raise DistributedSweepError(
+                        f"all {len(procs)} dist workers exited "
+                        f"(exit codes {exitcodes}) with unfinished shards and "
+                        f"the respawn budget is spent: "
+                        f"{coordinator.board.counts()}"
+                    )
+                respawn_budget -= 1
+                procs.append(
+                    spawn_worker(
+                        address,
+                        index=spawned,
+                        poll=worker_poll,
+                        fingerprint=coordinator.fingerprint,
+                    )
+                )
+                spawned += 1
+        return coordinator.result(timeout=10.0, jobs=workers)
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+        for proc in procs:
+            proc.wait(timeout=10.0)
+        coordinator.close()
+        for thread in threads:
+            thread.join(timeout=10.0)

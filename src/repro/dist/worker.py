@@ -1,0 +1,146 @@
+"""The worker loop: claim a lease, run the spec, stream the record back.
+
+:func:`run_worker` is the client half of the distributed executor — what
+``python -m repro dist-worker HOST:PORT`` runs, and what the in-process
+worker threads of :func:`~repro.dist.launch.run_distributed_sweep` run for
+tests.  The loop is deliberately dumb:
+
+1. connect and ``hello`` (the coordinator rejects stale code by name);
+2. ``claim`` — on ``wait`` sleep and retry, on ``drained`` exit;
+3. execute the spec through the exact same
+   :func:`~repro.experiments.sweep.execute_spec` path a local sweep uses
+   (so a distributed record is byte-for-byte a local record), while a
+   background thread heartbeats the lease;
+4. ``complete`` and go to 2.
+
+A worker keeps running after its lease expired mid-spec (a long spec on a
+slow host): the completion is still submitted, and the coordinator's
+first-wins rule decides whether it counts or is a discarded duplicate.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from repro.dist.protocol import (
+    Address,
+    CoordinatorClient,
+    ProtocolError,
+    default_worker_id,
+)
+from repro.experiments.plan import ExperimentSpec
+from repro.experiments.sweep import execute_spec
+
+
+class _LeaseHeartbeat:
+    """Background heartbeats for one lease (fresh connection per beat).
+
+    A separate connection keeps heartbeats off the main socket, which is
+    idle-blocked inside the spec execution; per-beat connections also make
+    a half-dead coordinator a non-event (the beat just fails and the main
+    loop finds out on ``complete``).
+    """
+
+    def __init__(
+        self,
+        address: Address,
+        worker: str,
+        fingerprint: str,
+        lease: str,
+        interval: float,
+    ) -> None:
+        self._address = address
+        self._worker = worker
+        self._fingerprint = fingerprint
+        self._lease = lease
+        self._interval = max(0.05, interval)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name=f"repro-dist-heartbeat-{lease}", daemon=True
+        )
+        #: becomes True if the coordinator reported the lease expired
+        self.expired = False
+
+    def start(self) -> "_LeaseHeartbeat":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                with CoordinatorClient(
+                    self._address, worker=self._worker, fingerprint=self._fingerprint
+                ) as client:
+                    client.hello()
+                    if not client.heartbeat(self._lease):
+                        self.expired = True
+                        return  # re-issued elsewhere; finishing is best-effort now
+            except (OSError, ProtocolError):
+                return  # coordinator unreachable; the main loop will notice
+
+
+def run_worker(
+    address: Address,
+    worker_id: Optional[str] = None,
+    fingerprint: Optional[str] = None,
+    poll_interval: float = 0.5,
+    heartbeat_interval: Optional[float] = None,
+    max_claims: Optional[int] = None,
+) -> int:
+    """Claim and execute shards until the coordinator drains; returns the
+    number of specs this worker executed.
+
+    ``poll_interval`` caps how long the worker sleeps on a ``wait`` reply;
+    ``heartbeat_interval`` defaults to a third of the coordinator's lease
+    timeout; ``max_claims`` bounds the loop (tests and scale-down).
+
+    Raises :class:`~repro.dist.protocol.WorkerRejectedError` when the
+    fingerprint handshake fails — a stale-code worker must never compute
+    records for a coordinator running different code.
+    """
+    worker = worker_id or default_worker_id()
+    client = CoordinatorClient(address, worker=worker, fingerprint=fingerprint)
+    executed = 0
+    try:
+        welcome = client.hello()
+        if heartbeat_interval is None:
+            heartbeat_interval = float(welcome.get("lease_timeout", 30.0)) / 3.0
+        while max_claims is None or executed < max_claims:
+            try:
+                reply = client.claim()
+            except (OSError, ProtocolError):
+                break  # coordinator gone (drained and closed); we are done
+            if reply["type"] == "drained":
+                break
+            if reply["type"] == "wait":
+                time.sleep(
+                    min(float(reply.get("retry_after", poll_interval)), poll_interval)
+                )
+                continue
+            spec = ExperimentSpec.from_dict(reply["spec"])  # type: ignore[arg-type]
+            lease = str(reply["lease"])
+            heartbeat = _LeaseHeartbeat(
+                address,
+                worker,
+                client.fingerprint,
+                lease,
+                interval=heartbeat_interval,
+            ).start()
+            try:
+                record = execute_spec(spec)
+            finally:
+                heartbeat.stop()
+            executed += 1
+            try:
+                client.complete(lease, int(reply["index"]), record.to_dict())
+            except (OSError, ProtocolError):
+                break  # coordinator closed between our claim and completion
+    finally:
+        client.close()
+    return executed

@@ -20,6 +20,7 @@ from repro.experiments.sweep import (
     ExperimentRecord,
     SweepResult,
     SweepRunner,
+    WorkerCrashedError,
     WorkerPool,
     execute_spec,
     run_sweep,
@@ -31,6 +32,7 @@ __all__ = [
     "ExperimentRecord",
     "SweepResult",
     "SweepRunner",
+    "WorkerCrashedError",
     "WorkerPool",
     "execute_spec",
     "run_sweep",

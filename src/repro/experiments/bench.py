@@ -29,7 +29,7 @@ import subprocess
 import time
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.plan import ExperimentSpec
+from repro.experiments.plan import ExperimentPlan, ExperimentSpec
 
 #: the fixed sweep: do not change without resetting the baseline
 FIXED_SWEEP = (
@@ -56,6 +56,12 @@ EXTENDED_SWEEP = (
         n=100_000, adversary="none", mode="sync", seed=0,
         wrong_candidate_mode="common_wrong", backend="vectorized",
     ),
+)
+
+#: the plan behind the ``pooled_n2``/``distributed_n*`` overhead cases: six
+#: quick specs, enough shards for two or four workers to actually interleave
+DISTRIBUTED_BENCH_PLAN = ExperimentPlan(
+    ns=(64,), adversaries=("none", "silent"), modes=("sync",), seeds=(0, 1, 2)
 )
 
 #: timed repetitions for the quick local check (``python -m repro bench``)
@@ -152,6 +158,61 @@ def run_fixed_sweep(
                 "agreement_reached": result.agreement,
                 "total_messages": result.total_messages,
                 "total_bits": result.total_bits,
+            }
+        )
+    return cases
+
+
+def run_distributed_cases(
+    repeats: int = DEFAULT_REPEATS,
+    plan: ExperimentPlan = DISTRIBUTED_BENCH_PLAN,
+    in_process: bool = False,
+) -> List[Dict[str, object]]:
+    """Time the same plan through a warm pool and the distributed executor.
+
+    Three cases in the fixed-sweep schema — ``pooled_n2`` (the
+    :class:`~repro.experiments.sweep.SweepRunner` baseline with two pool
+    workers), ``distributed_n2`` and ``distributed_n4`` (coordinator + TCP
+    workers) — so ``BENCH_kernel.json`` tracks what shard claiming over
+    localhost costs relative to ``multiprocessing``.  ``in_process=True``
+    swaps worker subprocesses for threads (tests).
+    """
+    from repro.dist import run_distributed_sweep
+    from repro.experiments.sweep import run_sweep
+
+    def pooled(workers: int):
+        return lambda: run_sweep(plan, jobs=workers)
+
+    def distributed(workers: int):
+        return lambda: run_distributed_sweep(
+            plan, workers=workers, in_process=in_process
+        )
+
+    cases = []
+    for key, runner in (
+        ("pooled_n2", pooled(2)),
+        ("distributed_n2", distributed(2)),
+        ("distributed_n4", distributed(4)),
+    ):
+        times = []
+        result = None
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            result = runner()
+            times.append(round(time.perf_counter() - start, 3))
+        cases.append(
+            {
+                "key": key,
+                "n": max(plan.ns),
+                "adversary": ",".join(plan.adversaries),
+                "mode": "sync",
+                "seed": 0,
+                "backend": "message",
+                "seconds": min(times),
+                "seconds_all": times,
+                "agreement_reached": all(r.agreement for r in result.records),
+                "total_messages": sum(r.total_messages for r in result.records),
+                "total_bits": sum(r.total_bits for r in result.records),
             }
         )
     return cases
@@ -257,6 +318,11 @@ def build_report(
     vec_4096 = by_key.get("sync:none:n4096:s0:vec")
     if msg_4096 and vec_4096:
         report["speedup_vectorized_n4096"] = round(msg_4096 / vec_4096, 2)
+    # Shard-claiming cost: distributed executor vs a warm pool, same plan.
+    pooled_2 = by_key.get("pooled_n2")
+    dist_2 = by_key.get("distributed_n2")
+    if pooled_2 and dist_2:
+        report["distributed_overhead_n2"] = round(dist_2 / pooled_2, 2)
     if trajectory:
         report["trajectory"] = trajectory
     if speedup_vs_previous:
@@ -304,6 +370,8 @@ def write_report(
     # to the tree as it stood when measurement started, not when it finished.
     commit = _git_commit()
     cases = run_fixed_sweep(repeats=repeats, specs=specs)
+    if update:
+        cases = cases + run_distributed_cases(repeats=repeats)
     report = build_report(cases=cases, previous=previous, repeats=repeats, commit=commit)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=1)

@@ -25,6 +25,24 @@ Subcommands
     ``$REPRO_STORE`` default.  ``--resume out.json`` re-seeds from a prior
     (possibly partial) result file and runs only the missing spec keys.
 
+    ``--distributed N`` runs the plan through the distributed executor
+    instead of a local pool: one in-process coordinator plus ``N``
+    ``dist-worker`` subprocesses claiming spec-keyed shards under leases
+    (see :mod:`repro.dist`).  ``--canonical`` saves ``--out`` with volatile
+    fields (wall-clock, worker counts) zeroed, so distributed and serial
+    runs of the same plan are byte-identical.
+
+``dist-worker``
+    One worker of the distributed executor, pointed at a running
+    coordinator::
+
+        python -m repro dist-worker 127.0.0.1:7341
+        python -m repro dist-worker HOST:PORT --id w1 --poll 0.2
+
+    The worker handshakes its code fingerprint (mismatches are rejected by
+    name), then claims, executes and streams back shards until the
+    coordinator drains.
+
 ``store``
     Inspect or garbage-collect the result store::
 
@@ -232,6 +250,50 @@ def build_parser() -> argparse.ArgumentParser:
              "only the missing spec keys; doubles as --out when --out is "
              "not given",
     )
+    sweep.add_argument(
+        "--distributed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run through the distributed executor: one coordinator plus N "
+             "dist-worker subprocesses claiming spec-keyed shards under "
+             "leases (crashed workers' shards are re-issued)",
+    )
+    sweep.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="seconds before an unheartbeated distributed lease expires and "
+             "its shard is re-issued (default: 30)",
+    )
+    sweep.add_argument(
+        "--canonical",
+        action="store_true",
+        help="write --out with volatile fields (wall-clock seconds, worker "
+             "counts, served-from counters) zeroed, so runs of the same "
+             "plan are byte-identical regardless of execution mode",
+    )
+
+    dist_worker = sub.add_parser(
+        "dist-worker",
+        help="one worker of the distributed sweep executor (see repro.dist)",
+    )
+    dist_worker.add_argument(
+        "address", metavar="HOST:PORT", help="the coordinator to claim shards from"
+    )
+    dist_worker.add_argument(
+        "--id", default=None, metavar="NAME",
+        help="worker id shown in coordinator status (default: hostname-pid)",
+    )
+    dist_worker.add_argument(
+        "--poll", type=float, default=0.5, metavar="SECONDS",
+        help="max sleep between claim retries while all shards are leased",
+    )
+    dist_worker.add_argument(
+        "--max-claims", type=int, default=None, metavar="K",
+        help="exit after executing K shards (default: run until drained)",
+    )
 
     compare = sub.add_parser(
         "compare",
@@ -438,6 +500,7 @@ def _build_plan(args: argparse.Namespace, modes: List[str], adversaries: List[st
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.dist import DistributedSweepError, run_distributed_sweep
     from repro.store import StoreError, resolve_store
     from repro.store.keys import spec_key
 
@@ -475,27 +538,67 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 f"resume: seeding {len(seed_records)}/{len(plan)} records "
                 f"from {args.resume}"
             )
-        result = run_sweep(
-            plan, jobs=args.jobs, out=out, store=store, seed_records=seed_records
-        )
-    except (ValueError, StoreError) as exc:
+        if args.distributed:
+            result = run_distributed_sweep(
+                plan,
+                workers=args.distributed,
+                store=store,
+                seed_records=seed_records,
+                lease_timeout=args.lease_timeout,
+            )
+        else:
+            result = run_sweep(
+                plan, jobs=args.jobs, store=store, seed_records=seed_records
+            )
+        if out:
+            result.save(out, canonical=args.canonical)
+    except (ValueError, StoreError, DistributedSweepError, TimeoutError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     finally:
         if store is not None:
             store.close()
-    served = (
-        f", {result.served_from_store}/{len(result.records)} served from store"
-        if store is not None or seed_records
-        else ""
-    )
+    total = len(result.records)
+    if store is not None and seed_records:
+        # Both sources were live: one consolidated line instead of a
+        # double-counting "served from store" that hides resume hits.
+        served = (
+            f", served {result.served_from_store}/{total} "
+            f"(store {result.served_from_store - result.served_from_resume}, "
+            f"resume {result.served_from_resume})"
+        )
+    elif store is not None or seed_records:
+        served = f", {result.served_from_store}/{total} served from store"
+    else:
+        served = ""
+    workers_label = "distributed workers" if args.distributed else "workers"
     title = (
-        f"sweep of {len(result.records)} experiments "
-        f"({result.jobs} workers, {result.total_seconds:.1f}s{served})"
+        f"sweep of {total} experiments "
+        f"({result.jobs} {workers_label}, {result.total_seconds:.1f}s{served})"
     )
     print(format_table(result.rows(), title=title))
     if out:
         print(f"records written to {out}")
+    return 0
+
+
+def cmd_dist_worker(args: argparse.Namespace) -> int:
+    from repro.dist import ProtocolError, WorkerRejectedError, run_worker
+
+    try:
+        executed = run_worker(
+            args.address,
+            worker_id=args.id,
+            poll_interval=args.poll,
+            max_claims=args.max_claims,
+        )
+    except WorkerRejectedError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (ProtocolError, OSError, ValueError) as exc:
+        print(f"error: cannot work against {args.address}: {exc}", file=sys.stderr)
+        return 2
+    print(f"dist-worker done: executed {executed} shard(s)")
     return 0
 
 
@@ -727,6 +830,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_run(args)
     if args.command == "sweep":
         return cmd_sweep(args)
+    if args.command == "dist-worker":
+        return cmd_dist_worker(args)
     if args.command == "compare":
         return cmd_compare(args)
     if args.command == "protocols":

@@ -41,6 +41,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
 RUN_COUNTER: Dict[str, int] = {"executed": 0}
 
 
+class WorkerCrashedError(RuntimeError):
+    """A pool worker process died mid-spec (segfault, OOM kill, SIGKILL).
+
+    ``imap_unordered`` never yields the dead worker's task, so without
+    detection the sweep would hang forever on a result that cannot arrive.
+    :class:`SweepRunner` polls the pool's worker processes while waiting and
+    raises this error naming the dead pid/exit code and the spec keys that
+    were still unfinished.
+    """
+
+
 @dataclass(frozen=True)
 class ExperimentRecord:
     """The persisted outcome of one executed spec.
@@ -154,6 +165,10 @@ class SweepResult:
     #: how many records were served from a result store (or resume file)
     #: instead of executed; ``len(records)`` means a fully warm re-run
     served_from_store: int = 0
+    #: the subset of ``served_from_store`` that came from a ``--resume``
+    #: file rather than the store itself (store hits take precedence when
+    #: both supply the same spec key)
+    served_from_resume: int = 0
 
     def rows(self) -> List[Dict[str, object]]:
         """Flat table rows, one per record (plan order)."""
@@ -174,12 +189,37 @@ class SweepResult:
             "total_seconds": self.total_seconds,
             "jobs": self.jobs,
             "served_from_store": self.served_from_store,
+            "served_from_resume": self.served_from_resume,
         }
 
-    def save(self, path: str) -> None:
-        """Persist the sweep as JSON (the ``BENCH_*.json`` layout)."""
+    def canonical_dict(self) -> Dict[str, object]:
+        """The sweep with every volatile field zeroed.
+
+        Wall-clock seconds, the worker count and the served-from counters
+        depend on where and how a sweep ran, not on *what* it computed; the
+        canonical form drops them so two runs of the same plan — serial,
+        pooled, or distributed across hosts — serialise byte-for-byte
+        identically iff their records match.  This is what the distributed
+        executor's equivalence checks compare.
+        """
+        data = self.to_dict()
+        data["total_seconds"] = 0.0
+        data["jobs"] = 0
+        data["served_from_store"] = 0
+        data["served_from_resume"] = 0
+        for record in data["records"]:
+            record["seconds"] = 0.0
+        return data
+
+    def save(self, path: str, canonical: bool = False) -> None:
+        """Persist the sweep as JSON (the ``BENCH_*.json`` layout).
+
+        ``canonical=True`` writes :meth:`canonical_dict` — the byte-stable
+        form used for cross-run equivalence comparison.
+        """
+        data = self.canonical_dict() if canonical else self.to_dict()
         with open(path, "w", encoding="utf-8") as fh:
-            json.dump(self.to_dict(), fh, indent=1)
+            json.dump(data, fh, indent=1)
 
     @staticmethod
     def load(path: str) -> "SweepResult":
@@ -191,6 +231,7 @@ class SweepResult:
             total_seconds=data["total_seconds"],
             jobs=data["jobs"],
             served_from_store=data.get("served_from_store", 0),
+            served_from_resume=data.get("served_from_resume", 0),
         )
 
     @staticmethod
@@ -388,6 +429,7 @@ class SweepRunner:
         start = time.perf_counter()
         records: List[Optional[ExperimentRecord]] = [None] * len(specs)
         served = 0
+        served_resume = 0
         if store is not None:
             for index, hit in enumerate(store.get_many(specs)):
                 if hit is not None:
@@ -398,6 +440,7 @@ class SweepRunner:
                     hit = seed_records.get(_spec_key(spec))
                     if hit is not None:
                         records[index] = hit
+                        served_resume += 1
                         if store is not None:
                             store.put(hit)
         for index, record in enumerate(records):
@@ -431,10 +474,47 @@ class SweepRunner:
                     processes=jobs, initializer=_worker_init, initargs=(prewarm,)
                 )
             try:
-                for index, record in worker_pool.imap_unordered(
+                # Track worker Process objects by pid from *before* dispatch:
+                # Pool silently reaps and respawns dead workers, so a crashed
+                # process is only observable through a reference captured
+                # while it was still in the pool's worker list.
+                tracked: Dict[int, object] = {}
+                for proc in getattr(worker_pool, "_pool", None) or ():
+                    tracked.setdefault(proc.pid, proc)
+                iterator = worker_pool.imap_unordered(
                     _execute_indexed, list(pending), chunksize=self.chunksize
-                ):
+                )
+                remaining = len(pending)
+                while remaining:
+                    try:
+                        index, record = iterator.next(timeout=0.25)
+                    except multiprocessing.TimeoutError:
+                        for proc in getattr(worker_pool, "_pool", None) or ():
+                            tracked.setdefault(proc.pid, proc)
+                        dead = [
+                            proc
+                            for proc in tracked.values()
+                            if proc.exitcode not in (None, 0)
+                        ]
+                        if dead:
+                            unfinished = [
+                                spec.key for i, spec in pending if records[i] is None
+                            ]
+                            if pool is not None:
+                                pool.terminate()
+                            raise WorkerCrashedError(
+                                f"sweep worker pid {dead[0].pid} died with exit "
+                                f"code {dead[0].exitcode} while "
+                                f"{len(unfinished)} spec(s) were unfinished "
+                                f"(first: {unfinished[0] if unfinished else '?'}) "
+                                f"— its results can never arrive, aborting the "
+                                f"sweep instead of hanging"
+                            )
+                        continue
+                    except StopIteration:  # pragma: no cover - remaining guards
+                        break
                     finish(index, record)
+                    remaining -= 1
             finally:
                 if pool is None:
                     worker_pool.terminate()
@@ -446,6 +526,7 @@ class SweepRunner:
             total_seconds=total_seconds,
             jobs=jobs,
             served_from_store=served,
+            served_from_resume=served_resume,
         )
 
 

@@ -17,6 +17,8 @@ Endpoints (all JSON unless noted):
   (409 while still running).
 * ``GET  /store/stats`` — the store's :meth:`~repro.store.ResultStore.stats`.
 * ``GET  /store/records`` — query stored records by protocol/fingerprint.
+* ``GET  /dist/coordinators`` — status snapshots of every live distributed
+  sweep coordinator in this process (see :mod:`repro.dist`).
 
 This module imports fastapi and must only be loaded through
 :func:`repro.service.create_app` (which guards the optional dependency) or
@@ -123,6 +125,12 @@ def build_router(manager: JobManager) -> APIRouter:
         return manager.store.query(
             protocol=protocol, fingerprint=fingerprint, limit=limit
         )
+
+    @router.get("/dist/coordinators")
+    def dist_coordinators() -> list:
+        from repro.dist import active_coordinators
+
+        return active_coordinators()
 
     return router
 

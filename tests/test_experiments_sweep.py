@@ -184,3 +184,47 @@ class TestCLI:
         assert len(data["records"]) == 1
         assert data["records"][0]["spec"]["n"] == 24
         assert "sweep of 1 experiments" in capsys.readouterr().out
+
+
+class TestWorkerCrashDetection:
+    """A pool worker dying mid-spec must fail the sweep, not hang it."""
+
+    def test_killed_worker_raises_instead_of_hanging(self):
+        import multiprocessing
+
+        from repro.experiments.sweep import WorkerCrashedError, WorkerPool
+        from repro.protocols import PROTOCOLS, ProtocolAdapter, RunResult, register_protocol
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("needs fork so pool workers inherit the test protocol")
+
+        @register_protocol
+        class SuicideProtocol(ProtocolAdapter):
+            name = "suicide_test"
+            params = {}
+
+            def run(self, spec):
+                if spec.seed == 4:  # one spec kills its worker uncleanly
+                    import os
+                    import signal
+
+                    os.kill(os.getpid(), signal.SIGKILL)
+                return RunResult(
+                    protocol=self.name, n=spec.n, agreement=True,
+                    decided_count=spec.n, correct_count=spec.n,
+                    rounds=1, span=None, max_decision_time=None,
+                    total_messages=0, total_bits=0, amortized_bits=0.0,
+                    max_node_bits=0, median_node_bits=0.0, load_imbalance=1.0,
+                )
+
+        plan = ExperimentPlan(ns=(8,), protocols=("suicide_test",), seeds=(3, 4, 5, 6))
+        try:
+            with WorkerPool(processes=2) as pool:
+                with pytest.raises(WorkerCrashedError) as excinfo:
+                    SweepRunner(plan, jobs=2).run(pool=pool)
+                assert pool.size == 0  # the poisoned pool was terminated
+            message = str(excinfo.value)
+            assert "died with exit code" in message
+            assert "suicide_test" in message  # names an unfinished spec key
+        finally:
+            PROTOCOLS.unregister("suicide_test")

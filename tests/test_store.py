@@ -420,3 +420,31 @@ def test_resolve_store_precedence(tmp_path, monkeypatch):
     default = resolve_store("")  # bare --store: the default path
     assert default.path == ".repro-store.sqlite"
     default.close()
+
+
+def test_store_plus_resume_prints_one_consolidated_served_line(tmp_path, capsys):
+    """Both sources live: one "served K/N (store J, resume I)" line, no
+    double counting when they supply the same spec key."""
+    store_path = str(tmp_path / "s.sqlite")
+    resume_path = tmp_path / "resume.json"
+    # the store holds spec A; the resume file holds A *and* B
+    complete = SweepRunner(PLAN, jobs=1).run()
+    with ResultStore(store_path) as store:
+        store.put(complete.records[0])
+    complete.save(str(resume_path))
+    executed_before = RUN_COUNTER["executed"]
+    assert (
+        cli_main(
+            [
+                "sweep", "--ns", "24", "--adversaries", "none,silent",
+                "--seeds", "3", "--jobs", "1",
+                "--store", store_path, "--resume", str(resume_path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    # store precedence for the shared key A; B comes from the resume file
+    assert "served 2/2 (store 1, resume 1)" in out
+    assert "served from store" not in out  # the old line is replaced
+    assert RUN_COUNTER["executed"] == executed_before  # fully served
