@@ -26,6 +26,7 @@ from __future__ import annotations
 import json
 import platform
 import subprocess
+import sys
 import time
 from typing import Dict, List, Optional, Sequence
 
@@ -40,7 +41,9 @@ FIXED_SWEEP = (
 
 #: larger cases recorded since the columnar fast path; no seed baseline.
 #: The ``n=4096`` pair times the same spec on both engine backends (the
-#: vectorized speedup gate); ``n=10**5`` is the vectorized-only headline case.
+#: vectorized speedup gate); ``n=10**5`` and ``n=10**6`` are the
+#: vectorized-only scale cases (the latter exercises the streaming
+#: memory-budget path end to end).
 EXTENDED_SWEEP = (
     ExperimentSpec(n=1024, adversary="none", mode="sync", seed=0),
     ExperimentSpec(n=512, adversary="none", mode="async", seed=0),
@@ -54,6 +57,10 @@ EXTENDED_SWEEP = (
     ),
     ExperimentSpec(
         n=100_000, adversary="none", mode="sync", seed=0,
+        wrong_candidate_mode="common_wrong", backend="vectorized",
+    ),
+    ExperimentSpec(
+        n=1_000_000, adversary="none", mode="sync", seed=0,
         wrong_candidate_mode="common_wrong", backend="vectorized",
     ),
 )
@@ -127,15 +134,56 @@ def verify_provenance(path: str = "BENCH_kernel.json") -> str:
     return recorded
 
 
+#: the child program of :func:`measure_peak_rss`: run one spec from JSON and
+#: print the process-lifetime resident-set high-water mark
+_RSS_CHILD = """\
+import json, resource, sys
+from repro.experiments.plan import ExperimentSpec
+ExperimentSpec.from_dict(json.loads(sys.argv[1])).run()
+print(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+"""
+
+
+def measure_peak_rss(spec: ExperimentSpec) -> Optional[float]:
+    """Peak RSS (MB) of running ``spec`` once in a fresh interpreter.
+
+    ``ru_maxrss`` is a process-lifetime high-water mark, so an in-process
+    measurement would report whichever earlier case was largest; a cold
+    subprocess per case is the honest number (it includes building the
+    sampler tables, exactly what a standalone run of that case pays).
+    Returns ``None`` where the measurement is unavailable (no ``resource``
+    module outside POSIX, or the child failed).
+    """
+    payload = json.dumps(spec.to_dict())
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-c", _RSS_CHILD, payload],
+            capture_output=True, text=True, timeout=3600, check=False,
+        )
+    except (OSError, subprocess.SubprocessError):  # pragma: no cover - spawn failure
+        return None
+    if proc.returncode != 0:
+        return None
+    try:
+        ru_maxrss = int(proc.stdout.strip().splitlines()[-1])
+    except (ValueError, IndexError):
+        return None
+    # Linux reports ru_maxrss in KB (macOS in bytes; this repo pins Linux CI)
+    return round(ru_maxrss / 1024.0, 1)
+
+
 def run_fixed_sweep(
     repeats: int = DEFAULT_REPEATS,
     specs: Sequence[ExperimentSpec] = FIXED_SWEEP,
+    measure_rss: bool = False,
 ) -> List[Dict[str, object]]:
     """Time every case of the sweep on the current tree (serially).
 
     Each case is run ``repeats`` times; ``seconds`` is the minimum (the
     repeats are listed under ``seconds_all``), matching how the recorded
-    baselines were measured.
+    baselines were measured.  With ``measure_rss=True`` every vectorized
+    case additionally runs once in a fresh subprocess to record its cold
+    ``peak_rss_mb`` (the memory-budget contract's observable).
     """
     cases = []
     for spec in specs:
@@ -145,21 +193,22 @@ def run_fixed_sweep(
             start = time.perf_counter()
             result = spec.run()
             times.append(round(time.perf_counter() - start, 3))
-        cases.append(
-            {
-                "key": spec.key,
-                "n": spec.n,
-                "adversary": spec.adversary,
-                "mode": spec.mode,
-                "seed": spec.seed,
-                "backend": spec.backend,
-                "seconds": min(times),
-                "seconds_all": times,
-                "agreement_reached": result.agreement,
-                "total_messages": result.total_messages,
-                "total_bits": result.total_bits,
-            }
-        )
+        case: Dict[str, object] = {
+            "key": spec.key,
+            "n": spec.n,
+            "adversary": spec.adversary,
+            "mode": spec.mode,
+            "seed": spec.seed,
+            "backend": spec.backend,
+            "seconds": min(times),
+            "seconds_all": times,
+            "agreement_reached": result.agreement,
+            "total_messages": result.total_messages,
+            "total_bits": result.total_bits,
+        }
+        if measure_rss and spec.backend == "vectorized":
+            case["peak_rss_mb"] = measure_peak_rss(spec)
+        cases.append(case)
     return cases
 
 
@@ -234,12 +283,17 @@ def _previous_trajectory(previous: Optional[Dict[str, object]]) -> Dict[str, obj
     if old_cases:
         git_info = previous.get("git") or {}
         label = str(git_info.get("commit") or "pr1")
-        trajectory[label] = {
+        entry: Dict[str, object] = {
             "seconds": {
                 str(case["key"]): case["seconds"] for case in old_cases
             },
             "cases": old_cases,
         }
+        # Carry the generation's measurement protocol with its numbers, so a
+        # min-of-2 entry is never read as if it were min-of-5.
+        if previous.get("repeats") is not None:
+            entry["repeats"] = previous["repeats"]
+        trajectory[label] = entry
     return trajectory
 
 
@@ -318,6 +372,14 @@ def build_report(
     vec_4096 = by_key.get("sync:none:n4096:s0:vec")
     if msg_4096 and vec_4096:
         report["speedup_vectorized_n4096"] = round(msg_4096 / vec_4096, 2)
+    # The n=10⁶ scale case: headline wall-clock (and peak RSS, when measured)
+    # of the memory-budgeted vectorized engine.
+    for case in cases:
+        if str(case["key"]) == "sync:none:n1000000:s0:vec":
+            entry: Dict[str, object] = {"seconds": case["seconds"]}
+            if case.get("peak_rss_mb") is not None:
+                entry["peak_rss_mb"] = case["peak_rss_mb"]
+            report["vectorized_n1e6"] = entry
     # Shard-claiming cost: distributed executor vs a warm pool, same plan.
     pooled_2 = by_key.get("pooled_n2")
     dist_2 = by_key.get("distributed_n2")
@@ -369,7 +431,9 @@ def write_report(
     # Capture provenance *before* the (long) timed sweep: the numbers belong
     # to the tree as it stood when measurement started, not when it finished.
     commit = _git_commit()
-    cases = run_fixed_sweep(repeats=repeats, specs=specs)
+    # --update also measures per-case peak RSS (a subprocess per vectorized
+    # case) so the committed artifact carries the memory trajectory
+    cases = run_fixed_sweep(repeats=repeats, specs=specs, measure_rss=update)
     if update:
         cases = cases + run_distributed_cases(repeats=repeats)
     report = build_report(cases=cases, previous=previous, repeats=repeats, commit=commit)

@@ -69,6 +69,7 @@ class AERProtocolAdapter(ProtocolAdapter):
         "delay_params": {},
         "max_rounds": 64,
         "answer_budget": None,
+        "vec_memory_mb": None,
     }
 
     def validate(self, spec) -> None:
@@ -87,6 +88,11 @@ class AERProtocolAdapter(ProtocolAdapter):
                     f"{adversary!r} (supported: {', '.join(VEC_ADVERSARIES)}); "
                     "use backend='message'"
                 )
+        elif self.resolve_params(spec)["vec_memory_mb"] is not None:
+            raise ValueError(
+                "vec_memory_mb only applies to backend='vectorized' (the "
+                "message kernel has no chunked working set to budget)"
+            )
 
     def run(self, spec) -> RunResult:
         # The parameter resolution below mirrors repro.runner.run_aer_experiment
@@ -118,6 +124,7 @@ class AERProtocolAdapter(ProtocolAdapter):
             # validate() already pinned sync mode, no rushing, no trace and a
             # supported adversary; the vectorized engine resolves the
             # adversary by name and replays its RNG stream itself.
+            vec_memory_mb = p["vec_memory_mb"]
             result = run_aer(
                 scenario,
                 config=config,
@@ -125,6 +132,9 @@ class AERProtocolAdapter(ProtocolAdapter):
                 seed=seed,
                 max_rounds=int(p["max_rounds"]),  # type: ignore[call-overload]
                 backend="vectorized",
+                vec_memory_mb=(
+                    float(vec_memory_mb) if vec_memory_mb is not None else None  # type: ignore[arg-type]
+                ),
             )
             return RunResult.from_simulation(
                 self.name, result, _gstring_extras(result, scenario)

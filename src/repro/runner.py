@@ -52,6 +52,7 @@ def run_aer(
     trace=None,
     backend: str = "message",
     faults=None,
+    vec_memory_mb: Optional[float] = None,
 ) -> SimulationResult:
     """Run AER on a scenario and return the simulation result.
 
@@ -82,6 +83,11 @@ def run_aer(
     faults:
         Optional :class:`~repro.faults.FaultInjector`, threaded into the
         scheduler; ``None`` (default) is the zero-cost fault-free path.
+    vec_memory_mb:
+        Vectorized backend only: byte budget (in MB) for the engine's
+        temporary working set — chunk sizes and the unpacked-table cache
+        scale with it, the result bits never depend on it.  ``None`` uses
+        the engine default.
     """
     if config is None:
         config = AERConfig.for_system(scenario.n)
@@ -110,9 +116,15 @@ def run_aer(
             adversary_name=adversary_name or "none",
             seed=seed,
             max_rounds=max_rounds,
+            memory_mb=vec_memory_mb,
         )
     if backend != "message":
         raise ValueError(f"unknown backend {backend!r} (expected 'message' or 'vectorized')")
+    if vec_memory_mb is not None:
+        raise ValueError(
+            "vec_memory_mb only applies to backend='vectorized'; the message "
+            "kernel has no chunked working set to budget"
+        )
     if samplers is None:
         samplers = config.shared_samplers()
     if adversary is None and adversary_name is not None:
@@ -165,6 +177,7 @@ def run_aer_experiment(
     max_rounds: int = 64,
     backend: str = "message",
     faults=None,
+    vec_memory_mb: Optional[float] = None,
 ) -> SimulationResult:
     """One-call experiment: synthesise a scenario, pick an adversary, run AER.
 
@@ -203,6 +216,12 @@ def run_aer_experiment(
             max_rounds=max_rounds,
             backend=backend,
             faults=faults,
+            vec_memory_mb=vec_memory_mb,
+        )
+    if vec_memory_mb is not None:
+        raise ValueError(
+            "vec_memory_mb only applies to backend='vectorized'; the message "
+            "kernel has no chunked working set to budget"
         )
     samplers = config.shared_samplers()
     adversary = make_adversary(adversary_name, scenario, config, samplers)

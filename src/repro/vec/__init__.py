@@ -12,13 +12,19 @@ Layout
     Batched, bit-identical re-implementation of the samplers' keyed blake2b
     draw (`repro.net.rng.stable_hash`) as single-block compressions over
     uint64 lanes.
+``bitpack``
+    Bit-level array storage: ``ceil(log2 n)``-bit packed member-index rows
+    and one-bit-per-cell boolean matrices (:class:`~repro.vec.bitpack.BitMatrix`).
 ``tables``
     Array-shaped sampler tables: ``(rows, d)`` member matrices for the
     ``I``/``H`` quorum families and batched ``J`` poll rows, built either
     from the exact Python samplers (small ``n``) or from the batched hash
     (large ``n``) — both bit-identical to the message backend's draws.
+    Stored bit-packed with a byte-budgeted unpacked-row LRU (the ``n = 10⁶``
+    memory contract).
 ``engine``
-    The vectorized AER synchronous round loop.
+    The vectorized AER synchronous round loop, streaming its Fw1/Fw2
+    fan-outs under an explicit memory budget (``vec_memory_mb``).
 ``majority``
     The vectorized ``sample_majority`` baseline.
 
@@ -27,11 +33,12 @@ equality against the message kernel on the draw-order-compatible small-``n``
 subset, and cross-seed statistical equivalence (CI overlap) at large ``n``.
 """
 
-from repro.vec.engine import VEC_ADVERSARIES, run_aer_vectorized
+from repro.vec.engine import DEFAULT_VEC_MEMORY_MB, VEC_ADVERSARIES, run_aer_vectorized
 from repro.vec.majority import run_sample_majority_vectorized
 from repro.vec.tables import VecSamplerTables, prewarm_vec_tables
 
 __all__ = [
+    "DEFAULT_VEC_MEMORY_MB",
     "VEC_ADVERSARIES",
     "VecSamplerTables",
     "prewarm_vec_tables",

@@ -1,0 +1,98 @@
+"""Bit-packed array storage for the vectorized backend.
+
+Two packed layouts back the ``n = 10⁶`` memory contract (ARCHITECTURE.md
+"vec memory model"):
+
+* **index rows** — a ``(rows, d)`` matrix of member ids in ``[0, n)`` is
+  stored at ``b = ceil(log2 n)`` bits per id via :func:`numpy.packbits`
+  (big-endian bit order), ~3× smaller than the int64 rows the engine used
+  to hold and ~1.6× smaller than int32.  Packing is lossless, so the
+  unpacked rows are bit-for-bit the samplers' draws;
+* **boolean matrices** (:class:`BitMatrix`) — per-(row, member) flags such
+  as *polled* / *answered* at one bit per cell, 8× smaller than ``bool``.
+
+Both unpack in chunks sized by the engine's memory budget, never as whole
+tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def bits_for(n: int) -> int:
+    """Bits needed to store a value in ``[0, n)`` (at least 1)."""
+    return max(1, int(n - 1).bit_length())
+
+
+def packed_width(count: int, bits: int) -> int:
+    """Bytes per packed row of ``count`` values at ``bits`` bits each."""
+    return (count * bits + 7) // 8
+
+
+def pack_rows(values: np.ndarray, bits: int) -> np.ndarray:
+    """Pack a ``(rows, d)`` non-negative integer matrix at ``bits`` bits/value."""
+    rows, d = values.shape
+    # one uint8 bit plane per value bit — a broadcast shift over all bits at
+    # once would materialise a (rows, d, bits) matrix at the *input* width
+    bit_matrix = np.empty((rows, d, bits), dtype=np.uint8)
+    for j in range(bits):  # most-significant bit first
+        bit_matrix[:, :, j] = (values >> (bits - 1 - j)) & 1
+    return np.packbits(bit_matrix.reshape(rows, d * bits), axis=1)
+
+
+#: rows per internal unpack step — bounds the transient (rows, d·bits) uint8
+#: bit matrix to a few MB regardless of how many rows the caller asks for
+_UNPACK_STEP = 1 << 15
+
+
+def unpack_rows(packed: np.ndarray, d: int, bits: int, dtype=np.int32) -> np.ndarray:
+    """Invert :func:`pack_rows`: ``(rows, width)`` bytes back to value rows."""
+    rows = len(packed)
+    out = np.zeros((rows, d), dtype=dtype)
+    for lo in range(0, rows, _UNPACK_STEP):
+        hi = min(rows, lo + _UNPACK_STEP)
+        bit_matrix = np.unpackbits(
+            packed[lo:hi], axis=1, count=d * bits
+        ).reshape(hi - lo, d, bits)
+        block = out[lo:hi]
+        for j in range(bits):  # most-significant bit first
+            block <<= 1
+            block |= bit_matrix[:, :, j]
+    return out
+
+
+class BitMatrix:
+    """A ``(rows, cols)`` boolean matrix stored one bit per cell.
+
+    Supports exactly the access patterns of the engine's per-(row, member)
+    flags: extract a row subset as ``bool``, scatter-set individual cells,
+    and initialise whole rows to all-true.  Bit order matches
+    ``numpy.packbits`` (big-endian within each byte), so trailing pad bits
+    of the last byte are ignored by the ``count=cols`` unpack.
+    """
+
+    __slots__ = ("rows", "cols", "data")
+
+    def __init__(self, rows: int, cols: int) -> None:
+        self.rows = rows
+        self.cols = cols
+        self.data = np.zeros((rows, (cols + 7) // 8), dtype=np.uint8)
+
+    def set_rows(self, row_slice, values: np.ndarray) -> None:
+        """Assign a block of rows from a ``(k, cols)`` boolean matrix."""
+        self.data[row_slice] = np.packbits(values, axis=1)
+
+    def fill_rows(self, row_slice) -> None:
+        """Set every cell of the selected rows to true."""
+        self.data[row_slice] = 0xFF
+
+    def set_true(self, rows_idx: np.ndarray, cols_idx: np.ndarray) -> None:
+        """Scatter-set ``[rows_idx[i], cols_idx[i]] = True`` (duplicates fine)."""
+        byte = cols_idx >> 3
+        bit = (128 >> (cols_idx & 7)).astype(np.uint8)
+        np.bitwise_or.at(self.data, (rows_idx, byte), bit)
+
+    def rows_bool(self, rows_idx) -> np.ndarray:
+        """The selected rows as a ``(k, cols)`` boolean matrix."""
+        return np.unpackbits(self.data[rows_idx], axis=1, count=self.cols).view(bool)

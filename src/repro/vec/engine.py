@@ -4,13 +4,31 @@ The message kernel simulates AER one Python dispatch per message; this
 module simulates the same synchronous execution as a handful of numpy array
 passes per round.  The unit of state is not the node but the **poll row** —
 one launched poll ``(origin, candidate, label)`` with its poll list
-``J(origin, label)`` and pull quorum ``H(candidate, origin)`` as ``(rows,
-d)`` integer matrices.  Everything the pull phase does (serving, the two
+``J(origin, label)`` as a ``(rows, d)`` integer matrix (the pull quorum
+``H(candidate, origin)`` is re-gathered from the packed tables when a phase
+needs it).  Everything the pull phase does (serving, the two
 forwarding hops, answering, deciding) is expressible as gathers, masked
 sums and ``bincount`` scatter-adds over those matrices, because of one
 structural fact: all recipients of one poll's Fw1 stream observe the *same*
 set of forwarding senders, so the first-hop vote count is a per-row scalar
 rather than per-(row, member) state.
+
+Memory model (ARCHITECTURE.md "vec memory model") — the ``n = 10⁶``
+contract.  Nothing scales worse than ``O(n·d)`` and every super-constant
+temporary is chunked under an explicit byte budget (``vec_memory_mb``):
+
+* member tables are bit-packed (:mod:`repro.vec.bitpack`) and unpacked in
+  budget-sized chunks, with a byte-budgeted LRU for hot strings;
+* the Fw1/Fw2 fan-outs never materialise ``(rows, d, d)`` gathers: because
+  every recipient set ``H(s, t)`` depends only on the target ``t``, both
+  hops reduce to per-target weights (``bincount`` over flattened target
+  indices) gathered once per *unique* active target;
+* per-node RNG streams are replayed lazily from a draw counter instead of
+  holding ``n`` ``random.Random`` objects (the old dominant term);
+* poll-row state is int32/bit-packed and built in batch blocks, not one
+  Python array per row; pull-quorum rows are never duplicated into the row
+  state — they stay bit-packed in the tables and are re-gathered per serve
+  chunk.
 
 Equivalence contract (ARCHITECTURE.md "engine backends"):
 
@@ -18,11 +36,14 @@ Equivalence contract (ARCHITECTURE.md "engine backends"):
   :data:`VEC_ADVERSARIES` minus ``cornering*``, synchronous, non-rushing,
   ``eager_pull``, no trace — results are **bit-identical** to
   :func:`repro.runner.run_aer` (same ``SimulationResult``, same metrics,
-  same decision rounds), pinned by the golden backend tests;
+  same decision rounds), pinned by the golden backend tests; the bits are
+  also invariant to ``vec_memory_mb`` (chunk sizes change, sums do not);
 * ``cornering``/``cornering_nodelay`` are supported **statistically** only:
   the message kernel merges second-hop votes for one ``(origin,
   candidate)`` across poll labels, while rows here are per-label, so
-  per-bit metrics may differ slightly (agreement/decisions still hold);
+  per-bit metrics may differ slightly (agreement/decisions still hold) —
+  pinned by the ``python -m repro equivalence --mode statistical``
+  CI-overlap harness;
 * everything else (async mode, rushing, tracing, the remaining adversary
   strategies) is rejected loudly with ``ValueError``.
 
@@ -50,6 +71,7 @@ from repro.core.scenario import AERScenario
 from repro.net.metrics import MetricsSummary
 from repro.net.results import SimulationResult
 from repro.net.rng import derive_rng
+from repro.vec.bitpack import BitMatrix
 from repro.vec.tables import VecSamplerTables, tables_for
 
 #: adversary strategies the vectorized backend can replay.  ``cornering`` and
@@ -64,9 +86,10 @@ VEC_ADVERSARIES: Tuple[str, ...] = (
     "cornering_nodelay",
 )
 
-#: row-chunk size for the (rows, d, d) pull-quorum gathers of the forwarding
-#: phases — bounds peak temporary memory to a few tens of MB at d ≈ 30
-_ROW_CHUNK = 8192
+#: default per-run temporary-memory budget (MB) when ``vec_memory_mb`` is not
+#: given.  Generous enough that n ≤ 10⁵ runs keep their hot tables unpacked
+#: (the pre-budget behaviour); n = 10⁶ streams chunked unpacks under it.
+DEFAULT_VEC_MEMORY_MB = 512.0
 
 
 class _CaptureContext:
@@ -166,6 +189,19 @@ def _summary_from_arrays(
     )
 
 
+class _RowBatch:
+    """One contiguous block of poll rows staged before the round-1 freeze."""
+
+    __slots__ = ("origins", "sid", "start", "jmem", "polled")
+
+    def __init__(self, origins, sid, start, jmem, polled) -> None:
+        self.origins = origins      # (k,) int
+        self.sid = sid              # one sid per batch
+        self.start = start
+        self.jmem = jmem            # (k, d) int32
+        self.polled = polled        # None (all True) or (k, d) bool
+
+
 class _VecRun:
     """Array state of one vectorized synchronous AER execution."""
 
@@ -177,6 +213,7 @@ class _VecRun:
         seed: int,
         max_rounds: int,
         tables: VecSamplerTables,
+        memory_mb: Optional[float] = None,
     ) -> None:
         self.scenario = scenario
         self.config = config
@@ -193,6 +230,23 @@ class _VecRun:
         self._id_bits = size_model.id_bits
         self._label_bits = size_model.label_bits
         self._kind_bits = size_model.kind_bits
+
+        # ---- memory budget ----------------------------------------------
+        # All super-constant temporaries are chunked under this budget; the
+        # chunk sizes change with it, the bits never do (sums commute).
+        if memory_mb is not None and float(memory_mb) <= 0:
+            raise ValueError(f"vec_memory_mb must be positive, got {memory_mb!r}")
+        self.memory_mb = float(memory_mb) if memory_mb is not None else DEFAULT_VEC_MEMORY_MB
+        budget = int(self.memory_mb * (1 << 20))
+        d = self.size
+        # (k, d) row-state gathers: ~48 bytes per (row, member) across the
+        # simultaneous temporaries of the serve/fw2/answer phases
+        self._gather_chunk = max(1024, budget // (4 * 48 * d))
+        # table unpacks: the transient bit matrix is ~(bits + 8) bytes/member
+        self._table_chunk = max(1024, budget // (4 * (tables.bits + 8) * d))
+        # a quarter of the budget backs the shared unpacked-table LRU, so hot
+        # strings whose full (n, d) table fits stay gather-fast
+        tables.set_unpacked_budget(budget // 4)
 
         # ---- population -------------------------------------------------
         self.is_correct = np.zeros(n, dtype=bool)
@@ -229,24 +283,20 @@ class _VecRun:
         self.stage_recv_bits = np.zeros(n, dtype=np.int64)
         self._dispatched = False  # any send accepted in the current round
 
-        # ---- poll rows (python lists until round-1 finalization) --------
-        self._b_origin: List[int] = []
-        self._b_sid: List[int] = []
-        self._b_start: List[int] = []
-        self._b_jmem: List[np.ndarray] = []
-        self._b_hmem: List[np.ndarray] = []
-        self._b_polled: List[np.ndarray] = []
-        self._corner_keys: Dict[tuple, int] = {}  # (origin, label, sid) -> row
+        # ---- poll rows (batch blocks until round-1 finalization) --------
+        self._batches: List[_RowBatch] = []
 
         # staged per-row arrival effects, applied at the start of the next
         # round (phase A); all built after the round-1 finalization
         self.rows = 0
         self._stage_sv: List[tuple] = []    # (row_indices, counts)
-        self._stage_fw2: List[tuple] = []   # (row_indices, col_indices, counts)
-        self._stage_ans: List[tuple] = []   # (row_indices, counts)
+        self._stage_fw2: List[tuple] = []   # (row_indices, (k, d) occ)
+        self._stage_ans: List[np.ndarray] = []  # row_indices, one per answer
 
-        #: per-node private RNG streams (consumed one randrange per poll)
-        self._rngs = {int(x): derive_rng(seed, "node", int(x)) for x in self.correct}
+        #: per-node private draw counters — the node's ``derive_rng(seed,
+        #: "node", x)`` stream is re-derived and fast-forwarded on demand,
+        #: replacing the old dict of n live ``random.Random`` objects
+        self._draw_count = np.zeros(n, dtype=np.int32)
         #: per-sid push votes at every node, kept from round 0 for round 1
         self._push_votes: List[np.ndarray] = []
         #: adversary push records grouped as {(dest, candidate): [(idx, byz)]}
@@ -273,6 +323,24 @@ class _VecRun:
         return self._kind_bits + len(s)
 
     # ------------------------------------------------------------------
+    # lazy per-node RNG replay
+    # ------------------------------------------------------------------
+    def _draw_label(self, x: int) -> int:
+        """The node's next private label draw, replayed from its counter.
+
+        Bit-identical to holding the node's ``derive_rng`` stream open: the
+        k-th call re-derives the stream and discards the first k-1 draws
+        (every draw in both backends is exactly one ``randrange``).
+        """
+        rng = derive_rng(self.seed, "node", x)
+        space = self.config.label_space
+        done = int(self._draw_count[x])
+        for _ in range(done):
+            rng.randrange(space)
+        self._draw_count[x] = done + 1
+        return rng.randrange(space)
+
+    # ------------------------------------------------------------------
     # round 0: on_start of every correct node + the adversary's turn
     # ------------------------------------------------------------------
     def _make_row(
@@ -281,17 +349,18 @@ class _VecRun:
         sid: int,
         start: int,
         jmem: np.ndarray,
-        hmem: np.ndarray,
         polled: np.ndarray,
-    ) -> int:
-        row = len(self._b_origin)
-        self._b_origin.append(origin)
-        self._b_sid.append(sid)
-        self._b_start.append(start)
-        self._b_jmem.append(jmem)
-        self._b_hmem.append(hmem)
-        self._b_polled.append(polled)
-        return row
+    ) -> None:
+        """Append one adversary-shaped row as a single-row batch."""
+        self._batches.append(
+            _RowBatch(
+                np.asarray([origin], dtype=np.int32),
+                int(sid),
+                start,
+                jmem.astype(np.int32, copy=False).reshape(1, -1),
+                polled.reshape(1, -1),
+            )
+        )
 
     def _stage_poll_pull_recv(self, jmem: np.ndarray, hmem: np.ndarray, s: str) -> None:
         """Stage next-round deliveries of one poll's Poll and Pull multicasts."""
@@ -304,39 +373,43 @@ class _VecRun:
         """Create live rows for polls launched by ``xs`` and account their sends."""
         if len(xs) == 0:
             return
-        jmem_all = self.tables.poll_rows(xs, labels)
-        all_polled = np.ones(self.size, dtype=bool)
+        jmem_all = self.tables.poll_rows(xs, labels, cache=False)
         for sid in np.unique(sids):
-            s = self.strings[sid]
+            s = self.strings[int(sid)]
             sel = np.nonzero(sids == sid)[0]
-            hmem_all = self.tables.rows("H", s, xs[sel])
-            for i, row_i in enumerate(sel):
-                self._make_row(
-                    int(xs[row_i]), int(sid), start,
-                    jmem_all[row_i].astype(np.int64),
-                    hmem_all[i].astype(np.int64),
-                    all_polled.copy(),
-                )
+            jmem = jmem_all[sel]
+            # the pull-quorum rows are *not* stored: H(s, origin) lives in
+            # the packed tables and the serve phase re-gathers it from there
+            hmem = self.tables.rows("H", s, xs[sel])
+            self._batches.append(
+                _RowBatch(xs[sel].astype(np.int32), int(sid), start, jmem, None)
+            )
             self.sent_msgs[xs[sel]] += 2 * self.size
             self.sent_bits[xs[sel]] += self.size * (self._poll_bits(s) + self._pull_bits(s))
-            np.add.at(self.stage_recv_msgs, jmem_all[sel], 1)
-            np.add.at(self.stage_recv_bits, jmem_all[sel], self._poll_bits(s))
-            np.add.at(self.stage_recv_msgs, hmem_all, 1)
-            np.add.at(self.stage_recv_bits, hmem_all, self._pull_bits(s))
+            recv = np.bincount(jmem.ravel(), minlength=self.n)
+            self.stage_recv_msgs += recv
+            self.stage_recv_bits += recv * self._poll_bits(s)
+            recv = np.bincount(hmem.ravel(), minlength=self.n)
+            self.stage_recv_msgs += recv
+            self.stage_recv_bits += recv * self._pull_bits(s)
         self._dispatched = True
 
     def _round0(self) -> None:
         n = self.n
         # Push diffusion: every correct holder of s pushes to I⁻¹(s, ·); the
         # votes gathered at each node double as the staged push deliveries.
+        # The I table streams through in budget-sized chunks — the full
+        # (n, d) matrix is never resident.
         for sid, s in enumerate(self.strings):
-            full = self.tables.full("I", s)
             holders = self.holders[sid]
             push_bits = self._push_bits(s)
-            targets_per_sender = np.bincount(full.ravel(), minlength=n)
+            votes = np.zeros(n, dtype=np.int64)
+            targets_per_sender = np.zeros(n, dtype=np.int64)
+            for start, rows in self.tables.iter_rows("I", s, self._table_chunk):
+                votes[start : start + len(rows)] = holders[rows].sum(axis=1)
+                targets_per_sender += np.bincount(rows.ravel(), minlength=n)
             self.sent_msgs[holders] += targets_per_sender[holders]
             self.sent_bits[holders] += targets_per_sender[holders] * push_bits
-            votes = holders[full].sum(axis=1).astype(np.int64)
             self.stage_recv_msgs += votes
             self.stage_recv_bits += votes * push_bits
             self._push_votes.append(votes)
@@ -344,8 +417,7 @@ class _VecRun:
         # Eager pull: every correct node polls its own candidate.  The label
         # is the node's first private RNG draw, exactly as in the kernel.
         labels = np.asarray(
-            [self._rngs[int(x)].randrange(self.config.label_space) for x in self.correct],
-            dtype=np.int64,
+            [self._draw_label(x) for x in self.correct.tolist()], dtype=np.int64
         )
         self._launch_polls(self.correct, self.initial_sid[self.correct], labels, start=0)
 
@@ -390,12 +462,11 @@ class _VecRun:
             sid = self.sid_of.get(candidate)
             if sid is None:
                 continue  # no correct node believes it: the request is inert
-            jmem = self.tables.poll_rows([byz_id], [label])[0].astype(np.int64)
-            hmem = self.tables.rows("H", candidate, [byz_id])[0].astype(np.int64)
+            jmem = self.tables.poll_rows([byz_id], [label])[0]
             polled = np.zeros(self.size, dtype=bool)
             for victim in poll_marks.get((byz_id, label, candidate), ()):
                 polled |= jmem == victim
-            self._make_row(int(byz_id), int(sid), 0, jmem, hmem, polled)
+            self._make_row(int(byz_id), int(sid), 0, jmem, polled)
 
     # ------------------------------------------------------------------
     # round 1: push deliveries, acceptances, new polls
@@ -417,11 +488,11 @@ class _VecRun:
             xs = np.nonzero(acc)[0]
             if len(xs) == 0:
                 continue
-            full = self.tables.full("I", s)
-            arrival = self.holders[sid][full[xs]]  # (k, d): senders ascending
+            rows_xs = self.tables.rows("I", s, xs)
+            arrival = self.holders[sid][rows_xs]  # (k, d): senders ascending
             cum = np.cumsum(arrival, axis=1)
             pos = np.argmax(cum == self.thr, axis=1)
-            crossing_sender = full[xs, pos]
+            crossing_sender = rows_xs[np.arange(len(xs)), pos]
             for x, y in zip(xs.tolist(), crossing_sender.tolist()):
                 events.append((x, 0, int(y), sid))
 
@@ -453,7 +524,7 @@ class _VecRun:
         live_sids: List[int] = []
         live_labels: List[int] = []
         for x, phase, _key, payload in events:
-            label = self._rngs[x].randrange(self.config.label_space)
+            label = self._draw_label(x)
             if phase == 0:
                 live_xs.append(x)
                 live_sids.append(payload)
@@ -485,27 +556,32 @@ class _VecRun:
 
     def _finalize_rows(self) -> None:
         """Freeze the poll-row SoA; no further rows appear after round 1."""
-        rows = len(self._b_origin)
+        rows = sum(len(batch.origins) for batch in self._batches)
         self.rows = rows
         d = self.size
-        self.r_origin = np.asarray(self._b_origin, dtype=np.int64)
-        self.r_sid = np.asarray(self._b_sid, dtype=np.int32)
-        self.r_start = np.asarray(self._b_start, dtype=np.int32)
-        if rows:
-            self.r_jmem = np.vstack(self._b_jmem)
-            self.r_hmem = np.vstack(self._b_hmem)
-            self.r_polled = np.vstack(self._b_polled)
-        else:  # pragma: no cover - every run has at least the initial polls
-            self.r_jmem = np.zeros((0, d), dtype=np.int64)
-            self.r_hmem = np.zeros((0, d), dtype=np.int64)
-            self.r_polled = np.zeros((0, d), dtype=bool)
+        self.r_origin = np.zeros(rows, dtype=np.int32)
+        self.r_sid = np.zeros(rows, dtype=np.int32)
+        self.r_start = np.zeros(rows, dtype=np.int32)
+        self.r_jmem = np.zeros((rows, d), dtype=np.int32)
+        self.r_polled = BitMatrix(rows, d)
+        pos = 0
+        for batch in self._batches:
+            block = slice(pos, pos + len(batch.origins))
+            self.r_origin[block] = batch.origins
+            self.r_sid[block] = batch.sid
+            self.r_start[block] = batch.start
+            self.r_jmem[block] = batch.jmem
+            if batch.polled is None:
+                self.r_polled.fill_rows(block)
+            else:
+                self.r_polled.set_rows(block, batch.polled)
+            pos += len(batch.origins)
+        self._batches = None  # type: ignore[assignment]
         self.r_sv = np.zeros(rows, dtype=np.int64)
         self.r_crossed = np.full(rows, -1, dtype=np.int32)
-        self.r_fw2 = np.zeros((rows, d), dtype=np.int64)
-        self.r_answered = np.zeros((rows, d), dtype=bool)
+        self.r_fw2 = np.zeros((rows, d), dtype=np.int32)
+        self.r_answered = BitMatrix(rows, d)
         self.r_ans = np.zeros(rows, dtype=np.int64)
-        self._b_origin = self._b_sid = self._b_start = None  # type: ignore[assignment]
-        self._b_jmem = self._b_hmem = self._b_polled = None  # type: ignore[assignment]
         #: answer bit cost per sid, for the mixed-sid answer phase
         self._ans_bits_by_sid = np.asarray(
             [self._answer_bits(s) for s in self.strings], dtype=np.int64
@@ -555,7 +631,7 @@ class _VecRun:
             self.r_fw2[rows_idx] += occ
         self._stage_fw2 = []
         for rows_idx in self._stage_ans:
-            np.add.at(self.r_ans, rows_idx, 1)
+            self.r_ans += np.bincount(rows_idx, minlength=self.rows)
         self._stage_ans = []
         newly_crossed = (self.r_crossed == -1) & (self.r_sv >= self.thr)
         self.r_crossed[newly_crossed] = rnd
@@ -597,21 +673,25 @@ class _VecRun:
         arrivals = self.r_start == rnd - 1
         flush = self.r_start <= rnd - 2
         for sid in np.unique(self.r_sid):
+            s = self.strings[int(sid)]
             bel = self._bel(sid)
             late = new_deciders & (self.dec_sid == sid) & (self.initial_sid != sid)
             for window, servers_mask in ((arrivals, bel), (flush, late)):
                 if not servers_mask.any():
                     continue
                 rsel = np.nonzero(window & (self.r_sid == sid))[0]
-                if len(rsel) == 0:
-                    continue
-                member_mask = servers_mask[self.r_hmem[rsel]]  # (k, d)
-                counts = member_mask.sum(axis=1).astype(np.int64)
-                active = counts > 0
-                if not active.any():
-                    continue
-                self._emit_serves(int(sid), rsel[active], counts[active],
-                                  self.r_hmem[rsel][active], member_mask[active])
+                for lo in range(0, len(rsel), self._gather_chunk):
+                    rchunk = rsel[lo : lo + self._gather_chunk]
+                    # H(s, origin) is re-gathered from the packed tables —
+                    # the engine never keeps a (rows, d) pull-quorum matrix
+                    hmem = self.tables.rows("H", s, self.r_origin[rchunk])
+                    member_mask = servers_mask[hmem]       # (k, d)
+                    counts = member_mask.sum(axis=1).astype(np.int64)
+                    active = counts > 0
+                    if not active.any():
+                        continue
+                    self._emit_serves(int(sid), rchunk[active], counts[active],
+                                      hmem[active], member_mask[active])
 
     def _emit_serves(
         self,
@@ -621,7 +701,13 @@ class _VecRun:
         hmem: np.ndarray,
         member_mask: np.ndarray,
     ) -> None:
-        """Account one batch of pull serves and stage their Fw1 deliveries."""
+        """Account one batch of pull serves and stage their Fw1 deliveries.
+
+        The Fw1 fan-out is streamed per *target*: every member of ``H(s,
+        t)`` receives one copy per server of every row that polls ``t``, so
+        the delivered counts are a gather over the unique active targets
+        with per-target weights — no ``(rows, d, d)`` staging matrix.
+        """
         s = self.strings[sid]
         d = self.size
         fw1_bits = self._fw1_bits(s)
@@ -632,17 +718,26 @@ class _VecRun:
         self.sent_bits += per_server * (fanout * fw1_bits)
         self._dispatched = True
         self._stage_sv.append((rows_idx, counts))
-        # Fw1 deliveries: every member of H(s, t), for every target t of the
-        # row, receives one copy per server of that row.
-        for lo in range(0, len(rows_idx), _ROW_CHUNK):
-            chunk = slice(lo, lo + _ROW_CHUNK)
-            targets = self.r_jmem[rows_idx[chunk]]  # (k, d)
-            h_rows = self.tables.rows("H", s, targets.ravel())  # (k*d, d)
-            weights = np.repeat(counts[chunk], fanout)
-            flat = h_rows.ravel()
-            delivered = np.bincount(flat, weights=weights, minlength=self.n).astype(np.int64)
-            self.stage_recv_msgs += delivered
-            self.stage_recv_bits += delivered * fw1_bits
+        # per-target weight: how many server fan-outs reach each poll target.
+        # Accumulated one poll-list column at a time so the weights array is
+        # never expanded d-fold (float64 sums of small integers are exact).
+        targets = self.r_jmem[rows_idx]  # (k, d)
+        counts_f = counts.astype(np.float64)
+        weight = np.zeros(self.n, dtype=np.float64)
+        for j in range(d):
+            weight += np.bincount(targets[:, j], weights=counts_f, minlength=self.n)
+        active = np.nonzero(weight)[0]
+        delivered = np.zeros(self.n, dtype=np.float64)
+        for lo in range(0, len(active), self._table_chunk):
+            tchunk = active[lo : lo + self._table_chunk]
+            h_rows = self.tables.rows("H", s, tchunk)  # (c, d)
+            wt = weight[tchunk]
+            for j in range(d):
+                delivered += np.bincount(h_rows[:, j], weights=wt, minlength=self.n)
+        # exact: every accumulated value is an integer far below 2**53
+        delivered_int = delivered.astype(np.int64)
+        self.stage_recv_msgs += delivered_int
+        self.stage_recv_bits += delivered_int * fw1_bits
 
     def _phase_fw2(self, rnd: int, new_deciders: np.ndarray) -> None:
         """Second-hop forwards: crossing rows fan Fw2 votes out to poll targets.
@@ -670,27 +765,55 @@ class _VecRun:
                 self._emit_fw2(int(sid), rsel, senders_mask)
 
     def _emit_fw2(self, sid: int, rows_idx: np.ndarray, senders_mask: np.ndarray) -> None:
+        """Stream one Fw2 batch by unique target instead of per-(row, target).
+
+        ``H(s, t)`` depends only on ``t``, so the per-(row, member)
+        occupancy is ``cnt[t]`` — the believing-member count of the target's
+        pull quorum — gathered once per unique target; and a sender's total
+        is its target multiplicity across the batch.
+        """
         s = self.strings[sid]
         d = self.size
+        n = self.n
         fw2_bits = self._fw2_bits(s)
-        any_sent = False
-        for lo in range(0, len(rows_idx), _ROW_CHUNK):
-            chunk_rows = rows_idx[lo : lo + _ROW_CHUNK]
+        # target multiplicity over the whole batch (chunked row gathers)
+        mult = np.zeros(n, dtype=np.int64)
+        for lo in range(0, len(rows_idx), self._gather_chunk):
+            chunk_rows = rows_idx[lo : lo + self._gather_chunk]
+            mult += np.bincount(self.r_jmem[chunk_rows].ravel(), minlength=n)
+        active = np.nonzero(mult)[0]
+        cnt = np.zeros(n, dtype=np.int32)       # believing members of H(s, t)
+        per_sender = np.zeros(n, dtype=np.float64)
+        for lo in range(0, len(active), self._table_chunk):
+            tchunk = active[lo : lo + self._table_chunk]
+            h_rows = self.tables.rows("H", s, tchunk)  # (c, d)
+            mask = senders_mask[h_rows]
+            cnt[tchunk] = mask.sum(axis=1)
+            wt = mult[tchunk].astype(np.float64)
+            for j in range(d):  # column-wise: no d-fold weight expansion
+                kj = mask[:, j]
+                if kj.any():
+                    per_sender += np.bincount(
+                        h_rows[kj, j], weights=wt[kj], minlength=n
+                    )
+        if not cnt[active].any():
+            return  # no believing proxy anywhere: nothing sent, nothing staged
+        sender_counts = per_sender.astype(np.int64)  # exact integer values
+        self.sent_msgs += sender_counts
+        self.sent_bits += sender_counts * fw2_bits
+        self._dispatched = True
+        for lo in range(0, len(rows_idx), self._gather_chunk):
+            chunk_rows = rows_idx[lo : lo + self._gather_chunk]
             targets = self.r_jmem[chunk_rows]  # (k, d)
-            h_rows = self.tables.rows("H", s, targets.ravel())  # (k*d, d)
-            member_mask = senders_mask[h_rows]
-            occ = member_mask.sum(axis=1).astype(np.int64).reshape(len(chunk_rows), d)
+            occ = cnt[targets]                 # (k, d) int32
             if not occ.any():
                 continue
-            any_sent = True
-            per_sender = np.bincount(h_rows[member_mask], minlength=self.n)
-            self.sent_msgs += per_sender
-            self.sent_bits += per_sender * fw2_bits
-            np.add.at(self.stage_recv_msgs, targets, occ)
-            np.add.at(self.stage_recv_bits, targets, occ * fw2_bits)
             self._stage_fw2.append((chunk_rows, occ))
-        if any_sent:
-            self._dispatched = True
+            recv = np.bincount(
+                targets.ravel(), weights=occ.ravel(), minlength=n
+            ).astype(np.int64)
+            self.stage_recv_msgs += recv
+            self.stage_recv_bits += recv * fw2_bits
 
     def _phase_answers(self, rnd: int) -> None:
         """Polled nodes whose Fw2 tally crossed the threshold answer their poll.
@@ -706,36 +829,43 @@ class _VecRun:
         for sid in np.unique(self.r_sid):
             bel = self._bel(sid)
             rsel = np.nonzero((self.r_sid == sid) & (self.r_start <= rnd - 1))[0]
-            if len(rsel) == 0:
-                continue
-            cond = (
-                (self.r_fw2[rsel] >= self.thr)
-                & self.r_polled[rsel]
-                & ~self.r_answered[rsel]
-                & bel[self.r_jmem[rsel]]
-            )
-            rr, cc = np.nonzero(cond)
-            if len(rr):
-                grows_parts.append(rsel[rr])
-                gcols_parts.append(cc)
+            for lo in range(0, len(rsel), self._gather_chunk):
+                rchunk = rsel[lo : lo + self._gather_chunk]
+                cond = (
+                    (self.r_fw2[rchunk] >= self.thr)
+                    & self.r_polled.rows_bool(rchunk)
+                    & ~self.r_answered.rows_bool(rchunk)
+                    & bel[self.r_jmem[rchunk]]
+                )
+                rr, cc = np.nonzero(cond)
+                if len(rr):
+                    grows_parts.append(rchunk[rr].astype(np.int32))
+                    gcols_parts.append(cc.astype(np.int16))
         if not grows_parts:
             return
         grows = np.concatenate(grows_parts)
         gcols = np.concatenate(gcols_parts)
-        order = np.lexsort((grows, self.r_origin[grows]))
-        grows = grows[order]
-        gcols = gcols[order]
         answerers = self.r_jmem[grows, gcols]
         undecided = self.D[answerers] == -1
         budget = self.config.answer_budget
         counts = np.bincount(answerers[undecided], minlength=self.n)
         if not (self.answers_sent + counts > budget).any():
-            keep = np.ones(len(grows), dtype=bool)
+            # Fast path: every candidate answer fits the budget, so which
+            # order they spend it in is irrelevant — everything downstream
+            # (flag sets, bincount accounting) is order-independent, and the
+            # delivery-order lexsort (the peak-memory term of this phase at
+            # large n) is skipped entirely.
             self.answers_sent += counts
         else:
-            # slow path: walk candidate answers in delivery order, spending
-            # the budget answer by answer (exhausted answers are deferred
-            # until the node decides, exactly like the kernel)
+            # slow path: walk candidate answers in the kernel's delivery
+            # order (per origin, polls in row-creation order), spending the
+            # budget answer by answer (exhausted answers are deferred until
+            # the node decides, exactly like the kernel)
+            order = np.lexsort((grows, self.r_origin[grows]))
+            grows = grows[order]
+            gcols = gcols[order]
+            answerers = answerers[order]
+            undecided = undecided[order]
             keep = np.zeros(len(grows), dtype=bool)
             for i in range(len(grows)):
                 t = int(answerers[i])
@@ -744,18 +874,21 @@ class _VecRun:
                 elif self.answers_sent[t] < budget:
                     keep[i] = True
                     self.answers_sent[t] += 1
-        if not keep.any():
-            return
-        grows = grows[keep]
-        gcols = gcols[keep]
-        answerers = answerers[keep]
-        self.r_answered[grows, gcols] = True
-        ans_bits = self._ans_bits_by_sid[self.r_sid[grows]]
-        np.add.at(self.sent_msgs, answerers, 1)
-        np.add.at(self.sent_bits, answerers, ans_bits)
+            if not keep.any():
+                return
+            grows = grows[keep]
+            gcols = gcols[keep]
+            answerers = answerers[keep]
+        self.r_answered.set_true(grows, gcols)
+        self.sent_msgs += np.bincount(answerers, minlength=self.n)
         origins = self.r_origin[grows]
-        np.add.at(self.stage_recv_msgs, origins, 1)
-        np.add.at(self.stage_recv_bits, origins, ans_bits)
+        self.stage_recv_msgs += np.bincount(origins, minlength=self.n)
+        row_sids = self.r_sid[grows]
+        for sid in np.unique(row_sids):
+            mask = row_sids == sid
+            bits = int(self._ans_bits_by_sid[sid])
+            self.sent_bits += np.bincount(answerers[mask], minlength=self.n) * bits
+            self.stage_recv_bits += np.bincount(origins[mask], minlength=self.n) * bits
         self._stage_ans.append(grows)
         self._dispatched = True
 
@@ -800,12 +933,18 @@ def run_aer_vectorized(
     max_rounds: int = 64,
     tables: Optional[VecSamplerTables] = None,
     use_numpy: Optional[bool] = None,
+    memory_mb: Optional[float] = None,
 ) -> SimulationResult:
     """Run one synchronous AER execution on the vectorized backend.
 
     Mirrors the message kernel's ``run_aer_experiment`` execution semantics
     (synchronous, non-rushing, eager pull, no trace) for the adversaries in
     :data:`VEC_ADVERSARIES`; any other combination raises ``ValueError``.
+
+    ``memory_mb`` bounds the engine's temporary working set (the
+    ``vec_memory_mb`` spec knob): chunk sizes and the unpacked-table cache
+    scale with it, the result bits never depend on it.  ``None`` uses
+    :data:`DEFAULT_VEC_MEMORY_MB`.
     """
     if adversary_name not in VEC_ADVERSARIES:
         raise ValueError(
@@ -816,5 +955,6 @@ def run_aer_vectorized(
         config = AERConfig.for_system(scenario.n)
     if tables is None:
         tables = tables_for(config, use_numpy)
-    run = _VecRun(scenario, config, adversary_name, seed, max_rounds, tables)
+    run = _VecRun(scenario, config, adversary_name, seed, max_rounds, tables,
+                  memory_mb=memory_mb)
     return run.run()

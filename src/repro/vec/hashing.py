@@ -73,6 +73,12 @@ _BATCH = 1 << 15
 #: temporaries this size would otherwise be mmap'd and faulted per operation
 _WORKSPACE: List[np.ndarray] = []
 
+#: reusable ``(_BATCH, 128)`` message buffer, allocated on first use — a
+#: table build at ``n = 10⁶`` runs thousands of compression batches per
+#: round-trip, and re-zeroing one resident buffer beats allocating (and
+#: page-faulting) a fresh one per batch
+_MSG_BUF: List[np.ndarray] = []
+
 
 def encode_parts(*parts: object) -> bytes:
     """The canonical length-prefixed encoding of :func:`repro.net.rng.absorb`."""
@@ -185,9 +191,12 @@ def batch_digest_mod(prefix: bytes, columns: Sequence[np.ndarray], n: int) -> np
                 hasher.update(encode_parts(*[int(c[i]) for c in columns]))
                 out[i] = int.from_bytes(hasher.digest(), "big") % n
             continue
+        if not _MSG_BUF:
+            _MSG_BUF.append(np.zeros((_BATCH, 128), dtype=np.uint8))
         for start in range(0, len(idx), _BATCH):
             chunk = idx[start : start + _BATCH]
-            buf = np.zeros((len(chunk), 128), dtype=np.uint8)
+            buf = _MSG_BUF[0][: len(chunk)]
+            buf.fill(0)
             buf[:, : len(prefix)] = prefix_arr
             offset = len(prefix)
             for column, count in zip(columns, digit_counts):
@@ -227,6 +236,7 @@ def first_distinct_rows(
     size: int,
     n: int,
     extra_draws: int = 4,
+    dtype=np.int64,
 ) -> np.ndarray:
     """Sorted first-``size``-distinct draws per row — the samplers' member loop.
 
@@ -239,10 +249,14 @@ def first_distinct_rows(
     """
     columns = [np.asarray(c, dtype=np.int64) for c in columns]
     rows = len(columns[0])
-    out = np.empty((rows, size), dtype=np.int64)
+    # members are < n, so callers can ask for a narrow output dtype directly
+    # instead of paying for an int64 matrix plus a cast copy
+    out = np.empty((rows, size), dtype=dtype)
     draws = size + extra_draws
-    # chunk so the (rows, draws) value matrix and its argsort stay modest
-    row_chunk = max(1, (4 << 20) // max(1, draws))
+    # chunk so the ~10 simultaneous (span, draws) int64 temporaries (repeats,
+    # values, argsort, ranks) stay a few MB each; a span·draws of half a
+    # million still feeds the hash batches at full width
+    row_chunk = max(1, (512 << 10) // max(1, draws))
     counter_tile = np.arange(draws, dtype=np.int64)
     for start in range(0, rows, row_chunk):
         stop = min(rows, start + row_chunk)
